@@ -1,0 +1,30 @@
+// Fig 3: (a) a small set of applications holds most SBEs (top 20% of the
+// affected apps hold > 90%); (b) even affected apps do not err on all of
+// their executions.
+#include "analysis/characterization.hpp"
+#include "common/table.hpp"
+#include "support/bench_common.hpp"
+
+int main() {
+  using namespace repro;
+  bench::banner("Fig 3", "Workload vs GPU error concentration",
+                "top 20% of affected apps hold >90% of SBEs; affected-run "
+                "fraction decays along the ranking");
+  const sim::Trace& trace = bench::paper_trace();
+  const analysis::AppConcentration conc = analysis::app_concentration(trace);
+
+  TextTable t({"app percentile", "cumulative SBE share", "affected-run fraction"});
+  for (const double pct : {0.05, 0.10, 0.20, 0.40, 0.60, 0.80, 1.00}) {
+    const auto k = static_cast<std::size_t>(
+        pct * static_cast<double>(conc.ranked_apps.size()));
+    const std::size_t idx = k == 0 ? 0 : k - 1;
+    t.add_row(fmt(100.0 * pct, 0) + "%",
+              {conc.cumulative_share[idx], conc.affected_run_fraction[idx]});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("affected applications: %zu / %zu\n", conc.ranked_apps.size(),
+              trace.catalog.size());
+  std::printf("share held by top 20%%: %.1f%%  (paper: >90%%)\n",
+              100.0 * conc.share_of_top(0.2));
+  return 0;
+}

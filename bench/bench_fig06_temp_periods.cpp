@@ -1,0 +1,24 @@
+// Fig 6: temperature distribution of offender nodes during SBE-free vs
+// SBE-affected periods — affected periods are hotter by >3 degC on average.
+#include "analysis/characterization.hpp"
+#include "support/bench_common.hpp"
+
+int main() {
+  using namespace repro;
+  bench::banner("Fig 6", "Offender-node temperature: SBE-free vs SBE-affected periods",
+                "affected periods hotter by >3 degC on average; heavy overlap "
+                "(no hard threshold)");
+  const sim::Trace& trace = bench::paper_trace();
+  const analysis::PeriodDistributions d =
+      analysis::offender_period_distributions(trace);
+
+  std::printf("(a) SBE-free periods    : avg=%.2f degC  std=%.2f  (paper: avg 31.7)\n",
+              d.temp_free.mean(), d.temp_free.stddev());
+  std::printf("%s\n", d.temp_free.render(16).c_str());
+  std::printf("(b) SBE-affected periods: avg=%.2f degC  std=%.2f  (paper: avg 35.4)\n",
+              d.temp_affected.mean(), d.temp_affected.stddev());
+  std::printf("%s\n", d.temp_affected.render(16).c_str());
+  std::printf("mean elevation in affected periods: %.2f degC  (paper: >3)\n",
+              d.temp_affected.mean() - d.temp_free.mean());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig 8: the same application run twice on the same node shows different
+// temperature/power profiles, shaped by slot neighbors and cooling drift.
+// We find a probed node with two runs of the same app and print the two
+// profiles (node GPU, node CPU, slot average) around the runs.
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.hpp"
+#include "support/bench_common.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct RunRef {
+  const sim::RunNodeSample* sample = nullptr;
+};
+
+void print_profile(const sim::ProbeSeries& probe,
+                   const sim::RunNodeSample& s, Minute duration) {
+  const Minute margin = 30;
+  const Minute from = std::max<Minute>(0, s.start - margin);
+  const Minute to = std::min<Minute>(duration, s.end + margin);
+  TextTable t({"minute", "node_gpu_C", "node_cpu_C", "slot_avg_C",
+               "cage_avg_C", "node_gpu_W", "slot_avg_W"});
+  for (Minute m = from; m < to; m += std::max<Minute>(1, (to - from) / 24)) {
+    const auto i = static_cast<std::size_t>(m);
+    t.add_row(std::string(m == s.start ? ">" : (m == s.end ? "<" : "")) +
+                  std::to_string(m - s.start),
+              {probe.gpu_temp[i], probe.cpu_temp[i], probe.slot_avg_temp[i],
+               probe.cage_avg_temp[i], probe.gpu_power[i],
+               probe.slot_avg_power[i]},
+              1);
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 8", "Same app, same node, two runs: profile variability",
+                "temperature profile changes between runs and is not fully "
+                "explained by the node's own power");
+  const sim::Trace& trace = bench::paper_trace();
+
+  // Among all probed nodes, pick the same-app run pair whose temperature
+  // profiles differ the most — the illustrative case the paper's Fig 8
+  // shows (same binary, same node, visibly different thermal behaviour).
+  const sim::ProbeSeries* best_probe = nullptr;
+  const sim::RunNodeSample* best_a = nullptr;
+  const sim::RunNodeSample* best_b = nullptr;
+  float best_delta = -1.0f;
+  for (const sim::ProbeSeries& probe : trace.probes) {
+    std::vector<const sim::RunNodeSample*> runs;
+    for (const auto& s : trace.samples) {
+      if (s.node == probe.node && s.runtime_min >= 90.0f) runs.push_back(&s);
+    }
+    std::stable_sort(runs.begin(), runs.end(),
+                     [](const auto* a, const auto* b) { return a->app < b->app; });
+    for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+      if (runs[i]->app != runs[i + 1]->app) continue;
+      const float delta = std::abs(runs[i]->run_gpu_temp.mean -
+                                   runs[i + 1]->run_gpu_temp.mean);
+      if (delta > best_delta) {
+        best_delta = delta;
+        best_probe = &probe;
+        best_a = runs[i];
+        best_b = runs[i + 1];
+      }
+    }
+  }
+  if (best_probe != nullptr) {
+    const sim::ProbeSeries& probe = *best_probe;
+    {
+      const auto& a = *best_a;
+      const auto& b = *best_b;
+      std::printf("node %d, application %s: runs at day %lld and day %lld\n\n",
+                  probe.node,
+                  trace.catalog.spec(a.app).name.c_str(),
+                  static_cast<long long>(day_of(a.start)),
+                  static_cast<long long>(day_of(b.start)));
+      std::printf("--- first run (rows are minutes since run start; '>' start, '<' end) ---\n");
+      print_profile(probe, a, trace.duration);
+      std::printf("\n--- second run ---\n");
+      print_profile(probe, b, trace.duration);
+      std::printf(
+          "\nrun-mean GPU temp: %.2f vs %.2f degC (delta %.2f); "
+          "slot-neighbor mean temp: %.2f vs %.2f degC\n",
+          a.run_gpu_temp.mean, b.run_gpu_temp.mean,
+          a.run_gpu_temp.mean - b.run_gpu_temp.mean, a.slot_gpu_temp.mean,
+          b.slot_gpu_temp.mean);
+      return 0;
+    }
+  }
+  std::printf("no probed node with two runs of the same app found; "
+              "increase probe coverage\n");
+  return 1;
+}

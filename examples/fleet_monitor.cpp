@@ -1,0 +1,47 @@
+// Fleet monitor: the deployment loop of Sec. VI-A — retrain the TwoStage
+// model every two weeks on a sliding window and track prediction quality,
+// offender-set growth and training cost over the life of the machine.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/retraining.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace repro;
+  sim::SimConfig config;
+  config.system = {.grid_x = 10, .grid_y = 4, .cages_per_cabinet = 1,
+                   .slots_per_cage = 4, .nodes_per_slot = 4};
+  config.days = 120;
+  config.seed = 29;
+  config.faults.base_rate_per_min = 2.5e-4;
+  config.faults.drift_day = 85;  // the machine changes mid-life
+  std::printf("simulating %lld days on %d GPUs (drift at day 85)...\n",
+              static_cast<long long>(config.days), config.system.total_nodes());
+  const sim::Trace trace = sim::simulate(config);
+
+  core::RetrainingConfig retrain;
+  retrain.train_days = 42;
+  retrain.period_days = 14;
+  retrain.warmup_days = 42;
+  const auto periods = core::run_retraining(trace, retrain);
+
+  TextTable t({"test days", "F1", "precision", "recall", "offender nodes",
+               "test samples", "fit s"});
+  for (const auto& p : periods) {
+    t.add_row(std::to_string(day_of(p.test.begin)) + "-" +
+                  std::to_string(day_of(p.test.end)),
+              {p.metrics.positive.f1, p.metrics.positive.precision,
+               p.metrics.positive.recall,
+               static_cast<double>(p.offender_nodes),
+               static_cast<double>(p.test_samples), p.train_seconds});
+  }
+  std::printf("\n%s\n", t.render().c_str());
+  std::printf("Every row is one retraining period: the model is refit on the\n"
+              "previous %lld days and evaluated on the following %lld days.\n"
+              "Watch the F1 dip right after the day-85 drift, then recover as\n"
+              "retraining folds the new offenders into stage 1.\n",
+              static_cast<long long>(retrain.train_days),
+              static_cast<long long>(retrain.period_days));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// trace_tool: command-line utility around the simulator and exporter —
+// simulate traces, export CSVs for offline plotting, and summarize.
+//
+//   trace_tool summary   [days] [seed]
+//   trace_tool samples   [days] [seed] > samples.csv
+//   trace_tool sbe-log   [days] [seed] > sbe.csv
+//   trace_tool features  [days] [seed] > features.csv
+//   trace_tool probe <node> [days] [seed] > probe.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/sample_index.hpp"
+#include "sim/export.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace repro;
+
+sim::SimConfig tool_config(std::int64_t days, std::uint64_t seed) {
+  sim::SimConfig config;
+  config.system = {.grid_x = 8, .grid_y = 4, .cages_per_cabinet = 1,
+                   .slots_per_cage = 4, .nodes_per_slot = 4};
+  config.days = days;
+  config.seed = seed;
+  config.faults.base_rate_per_min = 2.5e-4;
+  return config;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool <summary|samples|sbe-log|features> "
+               "[days] [seed]\n"
+               "       trace_tool probe <node> [days] [seed]\n"
+               "CSV output goes to stdout; progress to stderr.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  int arg = 2;
+  topo::NodeId probe_node = 0;
+  if (cmd == "probe") {
+    if (argc < 3) return usage();
+    probe_node = std::atoi(argv[arg++]);
+  }
+  const std::int64_t days = argc > arg ? std::atoll(argv[arg]) : 30;
+  const std::uint64_t seed =
+      argc > arg + 1 ? std::strtoull(argv[arg + 1], nullptr, 10) : 1;
+
+  sim::SimConfig config = tool_config(days, seed);
+  if (cmd == "probe") config.probe_nodes = {probe_node};
+  std::fprintf(stderr, "simulating %lld days on %d GPUs (seed %llu)...\n",
+               static_cast<long long>(days), config.system.total_nodes(),
+               static_cast<unsigned long long>(seed));
+  const sim::Trace trace = sim::simulate(config);
+
+  if (cmd == "summary") {
+    const auto mask = trace.sbe_log.offender_mask(0, trace.duration);
+    int offenders = 0;
+    for (const char c : mask) offenders += c;
+    std::printf("nodes          : %d\n", trace.total_nodes());
+    std::printf("duration       : %lld days\n", static_cast<long long>(days));
+    std::printf("applications   : %zu\n", trace.catalog.size());
+    std::printf("aprun runs     : %zu\n", trace.run_count());
+    std::printf("samples        : %zu\n", trace.samples.size());
+    std::printf("SBE events     : %zu\n", trace.sbe_log.events().size());
+    std::printf("positive rate  : %.3f%%\n", 100.0 * trace.positive_rate());
+    std::printf("offender nodes : %d (%.1f%%)\n", offenders,
+                100.0 * offenders / trace.total_nodes());
+    return 0;
+  }
+  if (cmd == "samples") {
+    const auto rows = sim::export_samples_csv(trace, std::cout);
+    std::fprintf(stderr, "wrote %zu sample rows\n", rows);
+    return 0;
+  }
+  if (cmd == "sbe-log") {
+    const auto rows = sim::export_sbe_log_csv(trace, std::cout);
+    std::fprintf(stderr, "wrote %zu SBE events\n", rows);
+    return 0;
+  }
+  if (cmd == "features") {
+    const features::FeatureExtractor fx(trace, {});
+    const auto idx = core::samples_in(trace, {0, trace.duration + 1});
+    const auto rows = sim::export_features_csv(trace, fx, idx, std::cout);
+    std::fprintf(stderr, "wrote %zu feature rows x %zu columns\n", rows,
+                 fx.dim() + 1);
+    return 0;
+  }
+  if (cmd == "probe") {
+    const auto rows = sim::export_probe_csv(trace.probes.at(0), std::cout);
+    std::fprintf(stderr, "wrote %zu probe minutes for node %d\n", rows,
+                 probe_node);
+    return 0;
+  }
+  return usage();
+}

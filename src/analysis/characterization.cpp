@@ -1,0 +1,237 @@
+#include "analysis/characterization.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+#include "topology/topology.hpp"
+
+namespace repro::analysis {
+
+Grid per_cabinet_grid(const sim::Trace& trace,
+                      const std::vector<double>& per_node) {
+  const topo::Topology topology(trace.system);
+  REPRO_CHECK(per_node.size() ==
+              static_cast<std::size_t>(topology.total_nodes()));
+  const auto& cfg = trace.system;
+  Grid grid(static_cast<std::size_t>(cfg.grid_y),
+            std::vector<double>(static_cast<std::size_t>(cfg.grid_x), 0.0));
+  for (std::size_t n = 0; n < per_node.size(); ++n) {
+    const auto addr = topology.address_of(static_cast<topo::NodeId>(n));
+    grid[static_cast<std::size_t>(addr.cab_y)]
+        [static_cast<std::size_t>(addr.cab_x)] += per_node[n];
+  }
+  return grid;
+}
+
+void normalize_max(Grid& grid) {
+  double mx = 0.0;
+  for (const auto& row : grid) {
+    for (const double v : row) mx = std::max(mx, v);
+  }
+  if (mx <= 0.0) return;
+  for (auto& row : grid) {
+    for (double& v : row) v /= mx;
+  }
+}
+
+Grid offender_node_grid(const sim::Trace& trace) {
+  const auto mask = trace.sbe_log.offender_mask(0, trace.duration);
+  std::vector<double> per_node(mask.size(), 0.0);
+  for (std::size_t n = 0; n < mask.size(); ++n) per_node[n] = mask[n] ? 1.0 : 0.0;
+  Grid grid = per_cabinet_grid(trace, per_node);
+  normalize_max(grid);
+  return grid;
+}
+
+Grid affected_aprun_grid(const sim::Trace& trace) {
+  std::vector<double> per_node(
+      static_cast<std::size_t>(trace.total_nodes()), 0.0);
+  for (const auto& s : trace.samples) {
+    if (s.sbe_affected()) per_node[static_cast<std::size_t>(s.node)] += 1.0;
+  }
+  Grid grid = per_cabinet_grid(trace, per_node);
+  normalize_max(grid);
+  return grid;
+}
+
+namespace {
+Grid cumulative_channel_grid(const sim::Trace& trace, bool power) {
+  std::vector<double> per_node(
+      static_cast<std::size_t>(trace.total_nodes()), 0.0);
+  for (std::size_t n = 0; n < per_node.size(); ++n) {
+    const auto& cum = trace.cumulative[n];
+    per_node[n] = power ? cum.gpu_power.mean() : cum.gpu_temp.mean();
+  }
+  Grid grid = per_cabinet_grid(trace, per_node);
+  // Normalize by the machine-wide mean so 1.0 = average cabinet (the
+  // paper's Fig 5 colorbar is a normalized scale around 1).
+  double total = 0.0;
+  std::size_t cells = 0;
+  for (const auto& row : grid) {
+    for (const double v : row) {
+      total += v;
+      ++cells;
+    }
+  }
+  const double mean = cells > 0 ? total / static_cast<double>(cells) : 1.0;
+  if (mean > 0.0) {
+    for (auto& row : grid) {
+      for (double& v : row) v /= mean;
+    }
+  }
+  return grid;
+}
+}  // namespace
+
+Grid cumulative_temp_grid(const sim::Trace& trace) {
+  return cumulative_channel_grid(trace, /*power=*/false);
+}
+
+Grid cumulative_power_grid(const sim::Trace& trace) {
+  return cumulative_channel_grid(trace, /*power=*/true);
+}
+
+double AppConcentration::share_of_top(double fraction) const {
+  if (cumulative_share.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(
+      fraction * static_cast<double>(cumulative_share.size()));
+  if (k == 0) return 0.0;
+  return cumulative_share[std::min(k, cumulative_share.size()) - 1];
+}
+
+AppConcentration app_concentration(const sim::Trace& trace) {
+  // Per-app: total SBEs normalized by GPU core-hours, #affected runs,
+  // #total runs. A "run" here is an aprun (deduplicated by run id).
+  struct PerApp {
+    double sbe = 0.0;
+    double core_hours = 0.0;
+    std::unordered_set<workload::RunId> runs;
+    std::unordered_set<workload::RunId> affected_runs;
+  };
+  std::unordered_map<workload::AppId, PerApp> apps;
+  for (const auto& s : trace.samples) {
+    PerApp& a = apps[s.app];
+    a.sbe += static_cast<double>(s.sbe_count);
+    // core-hours are per run; attribute the per-node share.
+    a.core_hours += s.num_nodes > 0.0f
+                        ? static_cast<double>(s.gpu_core_hours) / s.num_nodes
+                        : 0.0;
+    a.runs.insert(s.run);
+    if (s.sbe_affected()) a.affected_runs.insert(s.run);
+  }
+
+  AppConcentration out;
+  std::vector<std::pair<workload::AppId, double>> ranked;  // normalized SBE
+  for (const auto& [app, a] : apps) {
+    if (a.sbe > 0.0) {
+      ranked.emplace_back(app, a.sbe / std::max(a.core_hours, 1e-9));
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& x, const auto& y) { return x.second > y.second; });
+
+  double total = 0.0;
+  for (const auto& [app, norm] : ranked) total += norm;
+  double cum = 0.0;
+  for (const auto& [app, norm] : ranked) {
+    out.ranked_apps.push_back(app);
+    cum += norm;
+    out.cumulative_share.push_back(total > 0.0 ? cum / total : 0.0);
+    const PerApp& a = apps.at(app);
+    out.affected_run_fraction.push_back(
+        a.runs.empty() ? 0.0
+                       : static_cast<double>(a.affected_runs.size()) /
+                             static_cast<double>(a.runs.size()));
+  }
+  return out;
+}
+
+UtilizationCorrelation utilization_correlation(const sim::Trace& trace) {
+  // One point per SBE-affected application: x = its total SBE count
+  // normalized by its total GPU core-hours, y = its aggregate GPU
+  // core-hours (Fig 4a) or aggregate GPU memory (Fig 4b). Aggregating per
+  // application (the unit of the Fig 3 ranking) averages out per-run and
+  // per-node noise, exposing the usage/susceptibility coupling.
+  struct PerApp {
+    double sbe = 0.0;
+    double core_hours = 0.0;
+    double mem = 0.0;
+  };
+  std::unordered_map<workload::AppId, PerApp> apps;
+  for (const auto& s : trace.samples) {
+    PerApp& a = apps[s.app];
+    a.sbe += static_cast<double>(s.sbe_count);
+    const double share = s.num_nodes > 0.0f ? 1.0 / s.num_nodes : 0.0;
+    a.core_hours += static_cast<double>(s.gpu_core_hours) * share;
+    a.mem += static_cast<double>(s.total_mem_gb) * share;
+  }
+  std::vector<double> sbe, core_hours, mem;
+  for (const auto& [app, a] : apps) {
+    if (a.sbe <= 0.0) continue;
+    sbe.push_back(a.sbe);
+    core_hours.push_back(a.core_hours);
+    mem.push_back(a.mem);
+  }
+  UtilizationCorrelation out;
+  out.affected_apps = sbe.size();
+  // "applications with more SBEs tend to utilize more GPU memory and for
+  // longer duration" (Sec. III-B): rank correlation of total SBE count
+  // with total core-hours / memory. (Fig 4 PLOTS the normalized count on
+  // its x axis; the quoted coefficients are about the usage relationship,
+  // which exposure dominates.)
+  out.spearman_core_hours = spearman(sbe, core_hours);
+  out.spearman_memory = spearman(sbe, mem);
+  return out;
+}
+
+PeriodDistributions offender_period_distributions(const sim::Trace& trace) {
+  const auto mask = trace.sbe_log.offender_mask(0, trace.duration);
+  PeriodDistributions out;
+  for (std::size_t n = 0; n < mask.size(); ++n) {
+    if (!mask[n]) continue;
+    const auto& h = trace.period_hists[n];
+    out.temp_free.merge(h.temp_free);
+    out.temp_affected.merge(h.temp_affected);
+    out.power_free.merge(h.power_free);
+    out.power_affected.merge(h.power_affected);
+  }
+  return out;
+}
+
+SpaceCorrelation space_correlation(const sim::Trace& trace) {
+  const auto n = static_cast<std::size_t>(trace.total_nodes());
+  std::vector<double> temp(n), power(n), sbe(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    temp[i] = trace.cumulative[i].gpu_temp.mean();
+    power[i] = trace.cumulative[i].gpu_power.mean();
+    sbe[i] = static_cast<double>(trace.sbe_log.node_count_between(
+        static_cast<topo::NodeId>(i), 0, trace.duration));
+  }
+  SpaceCorrelation out;
+  out.temp_vs_sbe_nodes = spearman(temp, sbe);
+  out.power_vs_sbe_nodes = spearman(power, sbe);
+  return out;
+}
+
+double offender_day_concentration(const sim::Trace& trace,
+                                  double day_fraction) {
+  const std::int64_t total_days = trace.duration / kMinutesPerDay;
+  if (total_days <= 0) return 0.0;
+  // Count, per offender node, the number of distinct days with an SBE.
+  std::unordered_map<topo::NodeId, std::unordered_set<std::int64_t>> days;
+  for (const auto& e : trace.sbe_log.events()) {
+    days[e.node].insert(day_of(e.end));
+  }
+  if (days.empty()) return 0.0;
+  std::size_t sparse = 0;
+  for (const auto& [node, d] : days) {
+    const double frac = static_cast<double>(d.size()) /
+                        static_cast<double>(total_days);
+    if (frac < day_fraction) ++sparse;
+  }
+  return static_cast<double>(sparse) / static_cast<double>(days.size());
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,88 @@
+// Trace characterization (paper Sec. III): the analyses behind Figs 1-8,
+// computed from a Trace. Each function returns plain data that the bench
+// binaries render (grids, curves, histograms) and tests assert on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "sim/trace.hpp"
+
+namespace repro::analysis {
+
+using Grid = std::vector<std::vector<double>>;  ///< [y][x] cabinet values
+
+/// Fig 1: per-cabinet count of SBE-offender nodes, normalized to [0, 1].
+Grid offender_node_grid(const sim::Trace& trace);
+
+/// Fig 2: per-cabinet count of SBE-affected <aprun, node> samples,
+/// normalized to [0, 1].
+Grid affected_aprun_grid(const sim::Trace& trace);
+
+/// Fig 5a/5b: per-cabinet cumulative mean GPU temperature / power,
+/// normalized by the machine-wide mean (1.0 = average cabinet).
+Grid cumulative_temp_grid(const sim::Trace& trace);
+Grid cumulative_power_grid(const sim::Trace& trace);
+
+/// Fig 3: applications ranked by total normalized SBE count.
+struct AppConcentration {
+  /// Affected apps sorted by descending normalized SBE count.
+  std::vector<workload::AppId> ranked_apps;
+  /// Cumulative share of total SBEs held by the top-k ranked apps
+  /// (same indexing as ranked_apps); last element == 1.
+  std::vector<double> cumulative_share;
+  /// Fraction of each ranked app's executions that were SBE-affected.
+  std::vector<double> affected_run_fraction;
+
+  /// Share of all SBEs held by the top `fraction` of affected apps.
+  [[nodiscard]] double share_of_top(double fraction) const;
+};
+
+AppConcentration app_concentration(const sim::Trace& trace);
+
+/// Fig 4: rank correlation between per-app normalized SBE count and GPU
+/// utilization, over SBE-affected applications.
+struct UtilizationCorrelation {
+  double spearman_core_hours = 0.0;  ///< paper: 0.89
+  double spearman_memory = 0.0;      ///< paper: 0.70
+  std::size_t affected_apps = 0;
+};
+
+UtilizationCorrelation utilization_correlation(const sim::Trace& trace);
+
+/// Figs 6-7: busy-period temperature/power distributions of offender
+/// nodes, split into SBE-free and SBE-affected periods.
+struct PeriodDistributions {
+  Histogram temp_free{10.0, 70.0, 60};
+  Histogram temp_affected{10.0, 70.0, 60};
+  Histogram power_free{0.0, 300.0, 75};
+  Histogram power_affected{0.0, 300.0, 75};
+};
+
+PeriodDistributions offender_period_distributions(const sim::Trace& trace);
+
+/// Sec. III-C1: node-level Spearman correlation between cumulative
+/// temperature (or power) and SBE counts (paper: 0.07 / weak).
+struct SpaceCorrelation {
+  double temp_vs_sbe_nodes = 0.0;
+  double power_vs_sbe_nodes = 0.0;
+};
+
+SpaceCorrelation space_correlation(const sim::Trace& trace);
+
+/// Sec. III-A: offender-day concentration — the fraction of offender nodes
+/// whose error days are at most `day_fraction` of all trace days
+/// (paper: 80% of offenders err on < 20% of days).
+double offender_day_concentration(const sim::Trace& trace,
+                                  double day_fraction = 0.2);
+
+/// Helper: reduce a per-node value vector to a [y][x] cabinet grid by
+/// summing node values within each cabinet.
+Grid per_cabinet_grid(const sim::Trace& trace,
+                      const std::vector<double>& per_node);
+
+/// Normalizes a grid in place so its maximum is 1 (no-op for all-zero).
+void normalize_max(Grid& grid);
+
+}  // namespace repro::analysis

@@ -1,0 +1,46 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// REPRO_CHECK is always on (also in release builds): the simulator and ML
+// code are full of index arithmetic where silent corruption is far worse
+// than the cost of a predictable branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace repro {
+
+/// Thrown when a REPRO_CHECK fails or an API is misused.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace repro
+
+#define REPRO_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::repro::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define REPRO_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream repro_check_os_;                              \
+      repro_check_os_ << msg;                                          \
+      ::repro::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    repro_check_os_.str());            \
+    }                                                                  \
+  } while (false)

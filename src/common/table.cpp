@@ -1,0 +1,107 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace repro {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  REPRO_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  REPRO_CHECK_MSG(cells.size() == header_.size(),
+                  "row has " << cells.size() << " cells, header has "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : " | ") << cells[c]
+         << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "" : "-+-") << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string render_grid(const std::vector<std::vector<double>>& grid,
+                        int precision) {
+  std::ostringstream os;
+  for (auto it = grid.rbegin(); it != grid.rend(); ++it) {  // y top-down
+    for (std::size_t x = 0; x < it->size(); ++x) {
+      os << (x == 0 ? "" : " ") << fmt((*it)[x], precision);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_grid_shades(const std::vector<std::vector<double>>& grid) {
+  static constexpr char kShades[] = {' ', '.', ':', '*', '#', '@'};
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const auto& row : grid) {
+    for (const double v : row) {
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  const double span = hi - lo;
+  std::ostringstream os;
+  for (auto it = grid.rbegin(); it != grid.rend(); ++it) {
+    for (const double v : *it) {
+      std::size_t idx = 0;
+      if (span > 0.0) {
+        idx = static_cast<std::size_t>((v - lo) / span * 5.999);
+        idx = std::min<std::size_t>(idx, 5);
+      }
+      os << kShades[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace repro

@@ -1,0 +1,44 @@
+// ASCII rendering of tables and cabinet-grid heatmaps, used by the bench
+// binaries to print the paper's tables and figure data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Column-aligned text table with a header row, rendered like:
+///
+///   Scheme   | Precision | Recall
+///   ---------+-----------+-------
+///   Random   | 0.02      | 0.50
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a Y-by-X grid of values (e.g. the 8x25 Titan cabinet grid of
+/// Figs. 1, 2, 5, 13) as aligned numbers, row y printed top-down.
+std::string render_grid(const std::vector<std::vector<double>>& grid,
+                        int precision = 2);
+
+/// Renders the grid as a coarse shade map (' ', '.', ':', '*', '#', '@')
+/// normalized to [min, max], which makes hot corners visible in a terminal.
+std::string render_grid_shades(const std::vector<std::vector<double>>& grid);
+
+/// Fixed-precision formatting helper.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace repro

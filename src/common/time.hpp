@@ -1,0 +1,43 @@
+// Simulation time. The trace clock ticks in whole minutes from the start of
+// the trace (matching the paper's ~1-minute out-of-band telemetry cadence).
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+/// Minutes since trace start.
+using Minute = std::int64_t;
+
+inline constexpr Minute kMinutesPerHour = 60;
+inline constexpr Minute kMinutesPerDay = 24 * kMinutesPerHour;
+
+/// Day index (0-based) containing the given minute.
+constexpr std::int64_t day_of(Minute t) noexcept { return t / kMinutesPerDay; }
+
+/// Minute-of-day in [0, 1440).
+constexpr Minute minute_of_day(Minute t) noexcept {
+  return t % kMinutesPerDay;
+}
+
+/// First minute of the given day.
+constexpr Minute day_start(std::int64_t day) noexcept {
+  return day * kMinutesPerDay;
+}
+
+/// Half-open time interval [begin, end) in minutes.
+struct Interval {
+  Minute begin = 0;
+  Minute end = 0;
+
+  [[nodiscard]] constexpr Minute length() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr bool contains(Minute t) const noexcept {
+    return t >= begin && t < end;
+  }
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+  constexpr bool operator==(const Interval&) const noexcept = default;
+};
+
+}  // namespace repro

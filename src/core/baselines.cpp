@@ -1,0 +1,79 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+namespace repro::core {
+
+std::string_view to_string(BasicKind kind) noexcept {
+  switch (kind) {
+    case BasicKind::kRandom: return "Random";
+    case BasicKind::kBasicA: return "Basic A";
+    case BasicKind::kBasicB: return "Basic B";
+    case BasicKind::kBasicC: return "Basic C";
+  }
+  return "?";
+}
+
+void BasicScheme::train(const sim::Trace& trace, Interval train_window) {
+  const Minute upto = train_window.end;
+  offender_nodes_ = trace.sbe_log.offender_mask(0, upto);
+
+  const auto napps = static_cast<std::size_t>(trace.sbe_log.total_apps());
+  affected_apps_.assign(napps, 0);
+  std::vector<std::uint64_t> app_counts(napps, 0);
+  for (std::size_t a = 0; a < napps; ++a) {
+    app_counts[a] = trace.sbe_log.app_count_between(
+        static_cast<workload::AppId>(a), 0, upto);
+    affected_apps_[a] = app_counts[a] > 0 ? 1 : 0;
+  }
+
+  // Basic C: top 20% of SBE-affected applications by total SBE count.
+  top_apps_.assign(napps, 0);
+  std::vector<std::size_t> affected;
+  for (std::size_t a = 0; a < napps; ++a) {
+    if (app_counts[a] > 0) affected.push_back(a);
+  }
+  std::sort(affected.begin(), affected.end(),
+            [&](std::size_t a, std::size_t b) {
+              return app_counts[a] > app_counts[b];
+            });
+  const std::size_t keep = (affected.size() + 4) / 5;  // ceil(20%)
+  for (std::size_t i = 0; i < keep && i < affected.size(); ++i) {
+    top_apps_[affected[i]] = 1;
+  }
+}
+
+ml::Label BasicScheme::predict(const sim::RunNodeSample& s) const {
+  switch (kind_) {
+    case BasicKind::kRandom:
+      // Deterministic per-sample coin: hash of (seed, run, node).
+      return (hash_combine(hash_combine(seed_,
+                                        static_cast<std::uint64_t>(s.run)),
+                           static_cast<std::uint64_t>(s.node)) &
+              1u) != 0
+                 ? 1
+                 : 0;
+    case BasicKind::kBasicA:
+      REPRO_CHECK_MSG(!offender_nodes_.empty(), "predict before train");
+      return offender_nodes_[static_cast<std::size_t>(s.node)];
+    case BasicKind::kBasicB:
+      REPRO_CHECK_MSG(!affected_apps_.empty(), "predict before train");
+      return affected_apps_[static_cast<std::size_t>(s.app)];
+    case BasicKind::kBasicC:
+      REPRO_CHECK_MSG(!top_apps_.empty(), "predict before train");
+      return top_apps_[static_cast<std::size_t>(s.app)];
+  }
+  return 0;
+}
+
+std::vector<ml::Label> BasicScheme::predict(
+    const sim::Trace& trace, std::span<const std::size_t> idx) const {
+  std::vector<ml::Label> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) {
+    out.push_back(predict(trace.samples[i]));
+  }
+  return out;
+}
+
+}  // namespace repro::core

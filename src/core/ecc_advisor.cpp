@@ -1,0 +1,37 @@
+#include "core/ecc_advisor.hpp"
+
+namespace repro::core {
+
+EccReport advise_ecc(const sim::Trace& trace,
+                     std::span<const std::size_t> idx,
+                     std::span<const ml::Label> predicted,
+                     const EccPolicy& policy) {
+  REPRO_CHECK(idx.size() == predicted.size());
+  EccReport report;
+  report.decisions.reserve(idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const sim::RunNodeSample& s = trace.samples[idx[k]];
+    // Attribute the run's core-hours evenly across its node samples so a
+    // run is not counted once per node.
+    const double share =
+        s.num_nodes > 0.0f
+            ? static_cast<double>(s.gpu_core_hours) / s.num_nodes
+            : 0.0;
+    EccDecision d;
+    d.sample = idx[k];
+    d.ecc_on = predicted[k] != 0;
+    d.core_hours = share;
+    report.decisions.push_back(d);
+
+    report.baseline_overhead_hours += policy.ecc_overhead * share;
+    if (d.ecc_on) {
+      report.spent_overhead_hours += policy.ecc_overhead * share;
+    } else if (s.sbe_affected()) {
+      report.reexecution_hours += policy.reexecution_cost * share;
+      ++report.missed_sbe_runs;
+    }
+  }
+  return report;
+}
+
+}  // namespace repro::core

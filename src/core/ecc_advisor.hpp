@@ -1,0 +1,59 @@
+// The application of SBE prediction the paper motivates (Sec. I, VIII):
+// dynamically turning ECC off for runs predicted SBE-free to recover the
+// ~10% memory-bandwidth/performance overhead, while keeping ECC on (or
+// re-executing) where SBEs are predicted/encountered.
+//
+// The advisor turns a prediction vector into per-run decisions and an
+// accounting of GPU core-hours: overhead saved on true negatives vs
+// re-execution paid on false negatives (a missed SBE with ECC off forces
+// a re-run under the paper's conservative resilience policy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/sample_index.hpp"
+#include "sim/trace.hpp"
+
+namespace repro::core {
+
+struct EccPolicy {
+  double ecc_overhead = 0.10;      ///< fraction of runtime ECC costs [10]
+  double reexecution_cost = 1.0;   ///< re-run cost as fraction of core-hours
+};
+
+struct EccDecision {
+  std::size_t sample = 0;   ///< index into the trace's samples
+  bool ecc_on = true;       ///< advisor output
+  double core_hours = 0.0;  ///< this sample's share (core-hours / nodes)
+};
+
+struct EccReport {
+  std::vector<EccDecision> decisions;
+  double baseline_overhead_hours = 0.0;  ///< always-ECC-on cost
+  double spent_overhead_hours = 0.0;     ///< ECC kept on by the advisor
+  double reexecution_hours = 0.0;        ///< paid for missed SBEs
+  std::size_t missed_sbe_runs = 0;
+
+  /// Net core-hours saved vs always-on ECC.
+  [[nodiscard]] double net_savings_hours() const noexcept {
+    return baseline_overhead_hours - spent_overhead_hours -
+           reexecution_hours;
+  }
+  /// Savings as a fraction of the always-on overhead (1.0 = all of it).
+  [[nodiscard]] double savings_ratio() const noexcept {
+    return baseline_overhead_hours <= 0.0
+               ? 0.0
+               : net_savings_hours() / baseline_overhead_hours;
+  }
+};
+
+/// Applies the policy: ECC stays ON for predicted-SBE samples, goes OFF
+/// otherwise; missed SBEs (ECC off but errors occurred) pay re-execution.
+EccReport advise_ecc(const sim::Trace& trace,
+                     std::span<const std::size_t> idx,
+                     std::span<const ml::Label> predicted,
+                     const EccPolicy& policy = {});
+
+}  // namespace repro::core

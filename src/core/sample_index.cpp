@@ -1,0 +1,34 @@
+#include "core/sample_index.hpp"
+
+#include "common/error.hpp"
+
+namespace repro::core {
+
+std::vector<std::size_t> samples_in(const sim::Trace& trace,
+                                    Interval window) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+    if (window.contains(trace.samples[i].end)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ml::Label> labels_of(const sim::Trace& trace,
+                                 std::span<const std::size_t> idx) {
+  std::vector<ml::Label> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) {
+    REPRO_CHECK(i < trace.samples.size());
+    out.push_back(trace.samples[i].sbe_affected() ? 1 : 0);
+  }
+  return out;
+}
+
+ml::ClassMetrics evaluate_predictions(const sim::Trace& trace,
+                                      std::span<const std::size_t> idx,
+                                      std::span<const ml::Label> predicted) {
+  const std::vector<ml::Label> truth = labels_of(trace, idx);
+  return ml::evaluate(truth, predicted);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,31 @@
+#include "core/splits.hpp"
+
+#include "common/error.hpp"
+
+namespace repro::core {
+
+std::vector<SplitSpec> SplitSpec::sliding(std::int64_t total_days,
+                                          std::int64_t train_days,
+                                          std::int64_t test_days,
+                                          std::int64_t stride_days,
+                                          std::size_t count) {
+  REPRO_CHECK(train_days > 0 && test_days > 0 && stride_days > 0 && count > 0);
+  const auto needed = static_cast<std::int64_t>(count - 1) * stride_days +
+                      train_days + test_days;
+  REPRO_CHECK_MSG(needed <= total_days,
+                  "trace too short: need " << needed << " days, have "
+                                           << total_days);
+  std::vector<SplitSpec> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t off = static_cast<std::int64_t>(i) * stride_days;
+    SplitSpec s;
+    s.name = "DS" + std::to_string(i + 1);
+    s.train = {day_start(off), day_start(off + train_days)};
+    s.test = {day_start(off + train_days),
+              day_start(off + train_days + test_days)};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,31 @@
+// Temporal train/test dataset splits (paper Sec. VII-A): the six-month
+// trace is divided into three pairs of (training, testing) windows along
+// the time axis; each training window is followed by a two-week test
+// window, and consecutive pairs slide forward so the three test windows
+// cover different workload mixes (DS3 lands after the machine drifts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace repro::core {
+
+struct SplitSpec {
+  std::string name;   ///< "DS1", "DS2", "DS3"
+  Interval train;     ///< [begin, end) in minutes
+  Interval test;      ///< [begin, end) in minutes
+
+  /// The paper's three sliding splits scaled to a trace of `total_days`:
+  /// train `train_days`, test `test_days`, sliding by `stride_days`.
+  /// Requires (count-1)*stride + train + test <= total_days.
+  static std::vector<SplitSpec> sliding(std::int64_t total_days,
+                                        std::int64_t train_days = 60,
+                                        std::int64_t test_days = 14,
+                                        std::int64_t stride_days = 14,
+                                        std::size_t count = 3);
+};
+
+}  // namespace repro::core

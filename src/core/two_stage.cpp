@@ -1,0 +1,77 @@
+#include "core/two_stage.hpp"
+
+namespace repro::core {
+
+TwoStagePredictor::TwoStagePredictor(const TwoStageConfig& config)
+    : config_(config) {}
+
+void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
+  // Stage 1: offender set = any SBE observed before the end of training.
+  offender_mask_ = trace.sbe_log.offender_mask(0, train_window.end);
+
+  // Stage 2: offender-node samples inside the training window.
+  extractor_ = std::make_unique<features::FeatureExtractor>(trace,
+                                                            config_.features);
+  std::vector<std::size_t> train_idx;
+  for (const std::size_t i : samples_in(trace, train_window)) {
+    if (offender_mask_[static_cast<std::size_t>(trace.samples[i].node)]) {
+      train_idx.push_back(i);
+    }
+  }
+  REPRO_CHECK_MSG(!train_idx.empty(),
+                  "no offender-node samples in the training window");
+  ml::Dataset train_set = extractor_->build(train_idx);
+  if (config_.undersample_ratio > 0.0) {
+    Rng rng(config_.seed ^ 0xBA1A4CEULL);
+    train_set =
+        ml::undersample_majority(train_set, config_.undersample_ratio, rng);
+  }
+  stage2_size_ = train_set.size();
+
+  scaler_.fit(train_set.X);
+  scaler_.transform_inplace(train_set.X);
+
+  model_ = ml::make_model(config_.model, config_.seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  model_->fit(train_set);
+  const auto t1 = std::chrono::steady_clock::now();
+  train_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<float> TwoStagePredictor::predict_proba(
+    const sim::Trace& trace, std::span<const std::size_t> idx) const {
+  REPRO_CHECK_MSG(trained(), "predict before train");
+  std::vector<float> out;
+  out.reserve(idx.size());
+  std::vector<float> row(extractor_->dim());
+  for (const std::size_t i : idx) {
+    const sim::RunNodeSample& s = trace.samples[i];
+    if (!offender_mask_[static_cast<std::size_t>(s.node)]) {
+      out.push_back(0.0f);  // stage-1 reject: predicted SBE-free
+      continue;
+    }
+    extractor_->extract(s, row);
+    scaler_.transform_row(row);
+    out.push_back(model_->predict_proba(row));
+  }
+  return out;
+}
+
+std::vector<ml::Label> TwoStagePredictor::predict(
+    const sim::Trace& trace, std::span<const std::size_t> idx) const {
+  const std::vector<float> proba = predict_proba(trace, idx);
+  std::vector<ml::Label> out(proba.size());
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    out[i] = proba[i] >= config_.threshold ? 1 : 0;
+  }
+  return out;
+}
+
+ml::ClassMetrics TwoStagePredictor::evaluate(const sim::Trace& trace,
+                                             Interval test_window) const {
+  const std::vector<std::size_t> idx = samples_in(trace, test_window);
+  const std::vector<ml::Label> pred = predict(trace, idx);
+  return evaluate_predictions(trace, idx, pred);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,91 @@
+#include "faults/sbe_log.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace repro::faults {
+
+SbeLog::SbeLog(std::int32_t total_nodes, std::int32_t total_apps)
+    : by_node_(static_cast<std::size_t>(total_nodes)),
+      by_app_(static_cast<std::size_t>(total_apps)),
+      node_event_ids_(static_cast<std::size_t>(total_nodes)) {
+  REPRO_CHECK(total_nodes > 0 && total_apps > 0);
+}
+
+void SbeLog::Index::add(Minute t, std::uint32_t count) {
+  REPRO_CHECK_MSG(when.empty() || t >= when.back(),
+                  "SBE events must be added in time order");
+  when.push_back(t);
+  cum.push_back((cum.empty() ? 0 : cum.back()) + count);
+}
+
+std::uint64_t SbeLog::Index::between(Minute lo, Minute hi) const {
+  if (when.empty() || lo >= hi) return 0;
+  const auto first = std::lower_bound(when.begin(), when.end(), lo);
+  const auto last = std::lower_bound(when.begin(), when.end(), hi);
+  if (first == last) return 0;
+  const auto i0 = static_cast<std::size_t>(first - when.begin());
+  const auto i1 = static_cast<std::size_t>(last - when.begin());  // exclusive
+  const std::uint64_t upto_last = cum[i1 - 1];
+  const std::uint64_t before_first = i0 == 0 ? 0 : cum[i0 - 1];
+  return upto_last - before_first;
+}
+
+void SbeLog::add(const SbeEvent& e) {
+  REPRO_CHECK_MSG(e.count > 0, "SbeLog only stores positive observations");
+  REPRO_CHECK(e.node >= 0 && e.node < total_nodes());
+  REPRO_CHECK(e.app >= 0 && e.app < total_apps());
+  const auto id = static_cast<std::uint32_t>(events_.size());
+  events_.push_back(e);
+  by_node_[static_cast<std::size_t>(e.node)].add(e.end, e.count);
+  by_app_[static_cast<std::size_t>(e.app)].add(e.end, e.count);
+  global_.add(e.end, e.count);
+  node_event_ids_[static_cast<std::size_t>(e.node)].push_back(id);
+}
+
+std::uint64_t SbeLog::node_count_between(topo::NodeId node, Minute lo,
+                                         Minute hi) const {
+  return by_node_.at(static_cast<std::size_t>(node)).between(lo, hi);
+}
+
+std::uint64_t SbeLog::app_count_between(workload::AppId app, Minute lo,
+                                        Minute hi) const {
+  return by_app_.at(static_cast<std::size_t>(app)).between(lo, hi);
+}
+
+std::uint64_t SbeLog::global_count_between(Minute lo, Minute hi) const {
+  return global_.between(lo, hi);
+}
+
+std::uint64_t SbeLog::app_node_count_between(workload::AppId app,
+                                             topo::NodeId node, Minute lo,
+                                             Minute hi) const {
+  const auto& ids = node_event_ids_.at(static_cast<std::size_t>(node));
+  // Events per node are in time order; binary search the window, then
+  // filter by app (per-node event lists are short).
+  auto cmp_lo = [this](std::uint32_t id, Minute t) {
+    return events_[id].end < t;
+  };
+  const auto first = std::lower_bound(ids.begin(), ids.end(), lo, cmp_lo);
+  std::uint64_t total = 0;
+  for (auto it = first; it != ids.end() && events_[*it].end < hi; ++it) {
+    if (events_[*it].app == app) total += events_[*it].count;
+  }
+  return total;
+}
+
+bool SbeLog::node_has_sbe_between(topo::NodeId node, Minute lo,
+                                  Minute hi) const {
+  return node_count_between(node, lo, hi) > 0;
+}
+
+std::vector<char> SbeLog::offender_mask(Minute lo, Minute hi) const {
+  std::vector<char> mask(by_node_.size(), 0);
+  for (std::size_t n = 0; n < by_node_.size(); ++n) {
+    mask[n] = by_node_[n].between(lo, hi) > 0 ? 1 : 0;
+  }
+  return mask;
+}
+
+}  // namespace repro::faults

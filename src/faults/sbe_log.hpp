@@ -1,0 +1,87 @@
+// Append-only log of SBE observations with the paper's snapshot semantics:
+// counts become visible at the END minute of the aprun that produced them
+// (nvidia-smi is read before/after each batch job, Sec. II). All history
+// features and the stage-1 offender filter query this log, so prediction
+// never sees information that would not have been available at that time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "topology/topology.hpp"
+#include "workload/application.hpp"
+#include "workload/scheduler.hpp"
+
+namespace repro::faults {
+
+/// One positive SBE observation: `count` errors attributed to (run, node).
+struct SbeEvent {
+  workload::RunId run = -1;
+  workload::AppId app = -1;
+  topo::NodeId node = -1;
+  Minute start = 0;      ///< aprun start
+  Minute end = 0;        ///< aprun end == observation time
+  std::uint32_t count = 0;
+};
+
+/// Indexed SBE history with O(log n) windowed count queries.
+class SbeLog {
+ public:
+  explicit SbeLog(std::int32_t total_nodes, std::int32_t total_apps);
+
+  /// Events must arrive in non-decreasing `end` order (simulation order)
+  /// and have count > 0.
+  void add(const SbeEvent& e);
+
+  /// Total SBE count observed on `node` in observation window [lo, hi).
+  [[nodiscard]] std::uint64_t node_count_between(topo::NodeId node, Minute lo,
+                                                 Minute hi) const;
+  /// Total SBE count of `app` (across all nodes) observed in [lo, hi).
+  [[nodiscard]] std::uint64_t app_count_between(workload::AppId app, Minute lo,
+                                                Minute hi) const;
+  /// Machine-wide SBE count observed in [lo, hi).
+  [[nodiscard]] std::uint64_t global_count_between(Minute lo, Minute hi) const;
+  /// SBE count of (app, node) pairs observed in [lo, hi).
+  [[nodiscard]] std::uint64_t app_node_count_between(workload::AppId app,
+                                                     topo::NodeId node,
+                                                     Minute lo,
+                                                     Minute hi) const;
+
+  /// True iff the node has any SBE observation in [lo, hi).
+  [[nodiscard]] bool node_has_sbe_between(topo::NodeId node, Minute lo,
+                                          Minute hi) const;
+
+  /// Per-node flag vector: node saw >= 1 SBE in [lo, hi). This is the
+  /// paper's stage-1 "SBE offender node" set for a training window.
+  [[nodiscard]] std::vector<char> offender_mask(Minute lo, Minute hi) const;
+
+  [[nodiscard]] const std::vector<SbeEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::int32_t total_nodes() const noexcept {
+    return static_cast<std::int32_t>(by_node_.size());
+  }
+  [[nodiscard]] std::int32_t total_apps() const noexcept {
+    return static_cast<std::int32_t>(by_app_.size());
+  }
+
+ private:
+  // Sorted observation times + cumulative counts enable O(log n) windows.
+  struct Index {
+    std::vector<Minute> when;
+    std::vector<std::uint64_t> cum;  // cum[i] = counts of when[0..i]
+    void add(Minute t, std::uint32_t count);
+    [[nodiscard]] std::uint64_t between(Minute lo, Minute hi) const;
+  };
+
+  std::vector<SbeEvent> events_;
+  std::vector<Index> by_node_;
+  std::vector<Index> by_app_;
+  Index global_;
+  // (app, node) pairs are sparse; a per-node per-app nested index would be
+  // wasteful, so we reuse by_node_ events filtered on demand.
+  std::vector<std::vector<std::uint32_t>> node_event_ids_;
+};
+
+}  // namespace repro::faults

@@ -1,0 +1,224 @@
+#include "features/features.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "forecast/forecast.hpp"
+
+namespace repro::features {
+
+namespace {
+
+void push_four_stat_names(std::vector<std::string>& names,
+                          const std::string& prefix) {
+  names.push_back(prefix + "_mean");
+  names.push_back(prefix + "_std");
+  names.push_back(prefix + "_dmean");
+  names.push_back(prefix + "_dstd");
+}
+
+inline void emit_four(std::span<float> out, std::size_t& k,
+                      const telemetry::FourStats& s) noexcept {
+  out[k++] = s.mean;
+  out[k++] = s.std;
+  out[k++] = s.diff_mean;
+  out[k++] = s.diff_std;
+}
+
+inline float count_feature(std::uint64_t c) noexcept {
+  // Counts enter RAW (not log-transformed): every model sees the same
+  // heavy-tailed values, as the paper's pipeline would. Tree models are
+  // invariant to monotone transforms; linear models are not — part of why
+  // GBDT wins (Fig 10).
+  return static_cast<float>(c);
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const sim::Trace& trace,
+                                   const FeatureSpec& spec)
+    : trace_(trace), topology_(trace.system), spec_(spec) {
+  REPRO_CHECK_MSG(spec_.mask != 0, "empty feature mask");
+  REPRO_CHECK(spec_.app_hash_buckets > 0 && spec_.prev_app_hash_buckets > 0);
+  build_names();
+}
+
+void FeatureExtractor::build_names() {
+  names_.clear();
+  const FeatureMask m = spec_.mask;
+
+  if (m & kFeatApp) {
+    for (std::size_t b = 0; b < spec_.app_hash_buckets; ++b) {
+      names_.push_back("app_hash_" + std::to_string(b));
+    }
+    for (std::size_t b = 0; b < spec_.prev_app_hash_buckets; ++b) {
+      names_.push_back("prev_app_hash_" + std::to_string(b));
+    }
+    names_.push_back("app_id");
+    names_.push_back("prev_app_id");
+    names_.push_back("app_runtime_min");
+    names_.push_back("app_num_nodes");
+    names_.push_back("app_core_hours");
+    names_.push_back("app_total_mem");
+    names_.push_back("app_max_mem");
+  }
+  if (m & kFeatLocation) {
+    names_.push_back("loc_cab_x");
+    names_.push_back("loc_cab_y");
+    names_.push_back("loc_cage");
+    names_.push_back("loc_slot");
+    names_.push_back("loc_node_in_slot");
+    names_.push_back("loc_node_id");
+    names_.push_back("loc_node_hash");
+  }
+  if (m & kFeatTpCur) {
+    push_four_stat_names(names_, "cur_gpu_temp");
+    push_four_stat_names(names_, "cur_gpu_power");
+  }
+  if (m & kFeatTpPrev) {
+    for (const std::size_t w : sim::kPreWindowsMin) {
+      push_four_stat_names(names_, "pre" + std::to_string(w) + "_gpu_temp");
+      push_four_stat_names(names_, "pre" + std::to_string(w) + "_gpu_power");
+    }
+  }
+  if (m & kFeatTpNei) {
+    push_four_stat_names(names_, "cur_cpu_temp");
+    push_four_stat_names(names_, "slot_gpu_temp");
+    push_four_stat_names(names_, "slot_gpu_power");
+  }
+  if (m & kFeatHistLocalToday) names_.push_back("hist_node_today");
+  if (m & kFeatHistLocalYesterday) names_.push_back("hist_node_yesterday");
+  if (m & kFeatHistLocalBefore) names_.push_back("hist_node_before");
+  if (m & kFeatHistGlobalToday) names_.push_back("hist_global_today");
+  if (m & kFeatHistGlobalYesterday) names_.push_back("hist_global_yesterday");
+  if (m & kFeatHistGlobalBefore) names_.push_back("hist_global_before");
+  if (m & kFeatHistApp) {
+    names_.push_back("hist_app_today");
+    names_.push_back("hist_app_node_today");
+  }
+}
+
+void FeatureExtractor::extract(const sim::RunNodeSample& s,
+                               std::span<float> out) const {
+  REPRO_CHECK_MSG(out.size() == names_.size(), "output width mismatch");
+  const FeatureMask m = spec_.mask;
+  std::size_t k = 0;
+
+  if (m & kFeatApp) {
+    const std::size_t ab = spec_.app_hash_buckets;
+    for (std::size_t b = 0; b < ab; ++b) out[k + b] = 0.0f;
+    out[k + hash64(static_cast<std::uint64_t>(s.app)) % ab] = 1.0f;
+    k += ab;
+    const std::size_t pb = spec_.prev_app_hash_buckets;
+    for (std::size_t b = 0; b < pb; ++b) out[k + b] = 0.0f;
+    if (s.prev_app >= 0) {
+      out[k + hash64(static_cast<std::uint64_t>(s.prev_app)) % pb] = 1.0f;
+    }
+    k += pb;
+    out[k++] = static_cast<float>(s.app);
+    out[k++] = static_cast<float>(s.prev_app);
+    out[k++] = s.runtime_min;
+    out[k++] = s.num_nodes;
+    out[k++] = s.gpu_core_hours;
+    out[k++] = s.total_mem_gb;
+    out[k++] = s.max_mem_gb;
+  }
+  if (m & kFeatLocation) {
+    const auto addr = topology_.address_of(s.node);
+    out[k++] = static_cast<float>(addr.cab_x);
+    out[k++] = static_cast<float>(addr.cab_y);
+    out[k++] = static_cast<float>(addr.cage);
+    out[k++] = static_cast<float>(addr.slot);
+    out[k++] = static_cast<float>(addr.node);
+    out[k++] = static_cast<float>(s.node);
+    out[k++] = static_cast<float>(
+        static_cast<double>(hash64(static_cast<std::uint64_t>(s.node))) /
+        18446744073709551616.0);
+  }
+  if (m & kFeatTpCur) {
+    if (spec_.forecast_current_run) {
+      const std::span<const float> temp_hist(s.recent_gpu_temp.data(),
+                                             s.recent_len);
+      const std::span<const float> power_hist(s.recent_gpu_power.data(),
+                                              s.recent_len);
+      const auto horizon = static_cast<std::size_t>(s.runtime_min);
+      emit_four(out, k, forecast::forecast_run_stats(temp_hist, horizon));
+      emit_four(out, k, forecast::forecast_run_stats(power_hist, horizon));
+    } else {
+      emit_four(out, k, s.run_gpu_temp);
+      emit_four(out, k, s.run_gpu_power);
+    }
+  }
+  if (m & kFeatTpPrev) {
+    for (std::size_t w = 0; w < sim::kPreWindowsMin.size(); ++w) {
+      emit_four(out, k, s.pre_gpu_temp[w]);
+      emit_four(out, k, s.pre_gpu_power[w]);
+    }
+  }
+  if (m & kFeatTpNei) {
+    emit_four(out, k, s.run_cpu_temp);
+    emit_four(out, k, s.slot_gpu_temp);
+    emit_four(out, k, s.slot_gpu_power);
+  }
+
+  // SBE history, visible strictly before the run starts (snapshot
+  // semantics are already enforced by SbeLog's observation times).
+  const auto& log = trace_.sbe_log;
+  const Minute t = s.start;
+  const Minute day1 = t - kMinutesPerDay;
+  const Minute day2 = t - 2 * kMinutesPerDay;
+  if (m & kFeatHistLocalToday) {
+    out[k++] = count_feature(log.node_count_between(s.node, day1, t));
+  }
+  if (m & kFeatHistLocalYesterday) {
+    out[k++] = count_feature(log.node_count_between(s.node, day2, day1));
+  }
+  if (m & kFeatHistLocalBefore) {
+    out[k++] = count_feature(log.node_count_between(s.node, 0, day2));
+  }
+  if (m & kFeatHistGlobalToday) {
+    out[k++] = count_feature(log.global_count_between(day1, t));
+  }
+  if (m & kFeatHistGlobalYesterday) {
+    out[k++] = count_feature(log.global_count_between(day2, day1));
+  }
+  if (m & kFeatHistGlobalBefore) {
+    out[k++] = count_feature(log.global_count_between(0, day2));
+  }
+  if (m & kFeatHistApp) {
+    out[k++] = count_feature(log.app_count_between(s.app, day1, t));
+    out[k++] = count_feature(log.app_node_count_between(s.app, s.node, day1, t));
+  }
+  REPRO_CHECK_MSG(k == names_.size(), "feature emission mismatch");
+}
+
+ml::Dataset FeatureExtractor::build(
+    std::span<const std::size_t> sample_idx) const {
+  ml::Dataset d;
+  d.feature_names = names_;
+  d.X = ml::Matrix(sample_idx.size(), dim());
+  d.y.reserve(sample_idx.size());
+  for (std::size_t r = 0; r < sample_idx.size(); ++r) {
+    REPRO_CHECK(sample_idx[r] < trace_.samples.size());
+    const sim::RunNodeSample& s = trace_.samples[sample_idx[r]];
+    extract(s, d.X.row(r));
+    d.y.push_back(s.sbe_affected() ? 1 : 0);
+  }
+  return d;
+}
+
+std::string describe_mask(FeatureMask mask) {
+  if (mask == kAllFeatures) return "All";
+  if (mask == kSetCur) return "Cur";
+  if (mask == kSetCurPrev) return "CurPrev";
+  if (mask == kSetCurNei) return "CurNei";
+  if (mask == kGroupHist) return "Hist";
+  if (mask == kGroupTp) return "TP";
+  if (mask == kGroupApp) return "App";
+  std::string out = "mask(";
+  out += std::to_string(mask);
+  out += ")";
+  return out;
+}
+
+}  // namespace repro::features

@@ -1,0 +1,55 @@
+// Labeled dataset plus the imbalance-mitigation samplers discussed in
+// Sec. VI-B: random under-sampling of the majority class and synthetic
+// minority over-sampling (SMOTE). The paper's TwoStage method makes both
+// largely unnecessary (stage 1 rebalances to ~2:1), but they are provided
+// for the ablation benches and as general tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/matrix.hpp"
+
+namespace repro::ml {
+
+using Label = std::uint8_t;  // 0 = negative (SBE-free), 1 = positive (SBE)
+
+struct Dataset {
+  Matrix X;
+  std::vector<Label> y;
+  std::vector<std::string> feature_names;
+
+  [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+  [[nodiscard]] std::size_t features() const noexcept { return X.cols(); }
+  [[nodiscard]] std::size_t positives() const noexcept;
+  [[nodiscard]] std::size_t negatives() const noexcept {
+    return size() - positives();
+  }
+  /// Negatives per positive; +inf styled as a large value when no positives.
+  [[nodiscard]] double imbalance_ratio() const noexcept;
+
+  /// New dataset with the given rows (indices may repeat).
+  [[nodiscard]] Dataset select(const std::vector<std::size_t>& idx) const;
+
+  /// Consistency check: X/y sizes agree, names match width (or are empty).
+  void validate() const;
+};
+
+/// Randomly keeps all positives and `ratio` negatives per positive.
+/// A ratio >= current imbalance returns a shuffled copy.
+Dataset undersample_majority(const Dataset& d, double ratio, Rng& rng);
+
+/// SMOTE-style over-sampling: synthesizes minority rows by interpolating
+/// between a minority row and one of its k nearest minority neighbors until
+/// reaching `target_ratio` negatives per positive (target_ratio <= current).
+Dataset oversample_minority(const Dataset& d, double target_ratio,
+                            std::size_t k, Rng& rng);
+
+/// Stratified split preserving class proportions; returns {train, test}.
+std::pair<Dataset, Dataset> stratified_split(const Dataset& d,
+                                             double test_fraction, Rng& rng);
+
+}  // namespace repro::ml

@@ -1,0 +1,275 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace repro::ml {
+
+GradientBoostedTrees::GradientBoostedTrees(std::uint64_t seed) : GradientBoostedTrees(Params{}, seed) {}
+
+GradientBoostedTrees::GradientBoostedTrees(const Params& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+void FeatureBinner::fit(const Matrix& X, std::size_t max_bins,
+                        std::size_t sample_rows, std::uint64_t seed) {
+  REPRO_CHECK(X.rows() > 0);
+  REPRO_CHECK(max_bins >= 2 && max_bins <= kMaxBins);
+  const std::size_t d = X.cols();
+  edges_.assign(d, {});
+
+  Rng rng(seed);
+  std::vector<std::size_t> rows;
+  if (X.rows() <= sample_rows) {
+    rows.resize(X.rows());
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+  } else {
+    rows = rng.sample_without_replacement(X.rows(), sample_rows);
+  }
+
+  std::vector<float> values(rows.size());
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      values[i] = X.at(rows[i], f);
+    }
+    std::sort(values.begin(), values.end());
+    auto& edges = edges_[f];
+    float last = values.front();
+    for (std::size_t b = 1; b < max_bins; ++b) {
+      const std::size_t pos = b * values.size() / max_bins;
+      const float v = values[std::min(pos, values.size() - 1)];
+      if (v > last) {
+        edges.push_back(v);
+        last = v;
+      }
+    }
+  }
+}
+
+std::size_t FeatureBinner::bins(std::size_t feature) const {
+  REPRO_CHECK(feature < edges_.size());
+  return edges_[feature].size() + 1;
+}
+
+std::uint8_t FeatureBinner::code(std::size_t feature, float value) const {
+  const auto& edges = edges_[feature];
+  // code = count of edges < value  <=>  bin of the half-open partition
+  // (-inf, e0], (e0, e1], ..., (e_{k-1}, +inf).
+  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<std::uint8_t>(it - edges.begin());
+}
+
+float FeatureBinner::upper_edge(std::size_t feature, std::uint8_t c) const {
+  const auto& edges = edges_[feature];
+  REPRO_CHECK_MSG(c < edges.size(), "no upper edge for the last bin");
+  return edges[c];
+}
+
+std::vector<std::uint8_t> FeatureBinner::transform(const Matrix& X) const {
+  REPRO_CHECK_MSG(X.cols() == edges_.size(), "binner width mismatch");
+  std::vector<std::uint8_t> codes(X.rows() * X.cols());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    for (std::size_t f = 0; f < X.cols(); ++f) {
+      codes[r * X.cols() + f] = code(f, row[f]);
+    }
+  }
+  return codes;
+}
+
+namespace {
+inline float sigmoidf(float z) noexcept {
+  return 1.0f / (1.0f + std::exp(-z));
+}
+}  // namespace
+
+float GradientBoostedTrees::Tree::predict(
+    std::span<const float> x) const noexcept {
+  std::int32_t i = 0;
+  while (nodes[static_cast<std::size_t>(i)].feature >= 0) {
+    const Node& n = nodes[static_cast<std::size_t>(i)];
+    i = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                              : n.right;
+  }
+  return nodes[static_cast<std::size_t>(i)].value;
+}
+
+GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
+    const std::vector<std::uint8_t>& codes, std::size_t d,
+    const std::vector<std::size_t>& rows, const std::vector<float>& grad,
+    const std::vector<float>& hess) {
+  Tree tree;
+  struct Frontier {
+    std::int32_t node;
+    std::vector<std::size_t> rows;
+  };
+
+  tree.nodes.push_back({});
+  std::vector<Frontier> level;
+  level.push_back({0, rows});
+
+  constexpr std::size_t kBins = 256;
+  std::vector<double> hg(d * kBins), hh(d * kBins);
+
+  for (std::size_t depth = 0; depth < params_.max_depth && !level.empty();
+       ++depth) {
+    std::vector<Frontier> next;
+    for (Frontier& fr : level) {
+      // Gradient/hessian histograms for this node.
+      std::fill(hg.begin(), hg.end(), 0.0);
+      std::fill(hh.begin(), hh.end(), 0.0);
+      double G = 0.0, H = 0.0;
+      for (const std::size_t r : fr.rows) {
+        const std::uint8_t* row_codes = codes.data() + r * d;
+        const double g = grad[r], h = hess[r];
+        G += g;
+        H += h;
+        for (std::size_t f = 0; f < d; ++f) {
+          const std::size_t idx = f * kBins + row_codes[f];
+          hg[idx] += g;
+          hh[idx] += h;
+        }
+      }
+
+      const double lambda = params_.lambda;
+      const double parent_obj = G * G / (H + lambda);
+      double best_gain = params_.gamma;
+      std::int32_t best_f = -1;
+      std::uint8_t best_code = 0;
+      for (std::size_t f = 0; f < d; ++f) {
+        const std::size_t nbins = binner_.bins(f);
+        if (nbins < 2) continue;
+        double GL = 0.0, HL = 0.0;
+        for (std::size_t c = 0; c + 1 < nbins; ++c) {
+          GL += hg[f * kBins + c];
+          HL += hh[f * kBins + c];
+          const double HR = H - HL;
+          if (HL < params_.min_child_hessian ||
+              HR < params_.min_child_hessian) {
+            continue;
+          }
+          const double GR = G - GL;
+          const double gain = 0.5 * (GL * GL / (HL + lambda) +
+                                     GR * GR / (HR + lambda) - parent_obj);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_f = static_cast<std::int32_t>(f);
+            best_code = static_cast<std::uint8_t>(c);
+          }
+        }
+      }
+
+      Node& node = tree.nodes[static_cast<std::size_t>(fr.node)];
+      if (best_f < 0) {
+        node.value = static_cast<float>(-G / (H + lambda) *
+                                        params_.learning_rate);
+        continue;
+      }
+      node.feature = best_f;
+      node.threshold =
+          binner_.upper_edge(static_cast<std::size_t>(best_f), best_code);
+      node.gain = best_gain;
+
+      Frontier left, right;
+      left.node = static_cast<std::int32_t>(tree.nodes.size());
+      right.node = left.node + 1;
+      node.left = left.node;
+      node.right = right.node;
+      tree.nodes.push_back({});
+      tree.nodes.push_back({});
+      for (const std::size_t r : fr.rows) {
+        const std::uint8_t c =
+            codes[r * d + static_cast<std::size_t>(best_f)];
+        (c <= best_code ? left.rows : right.rows).push_back(r);
+      }
+      fr.rows.clear();
+      fr.rows.shrink_to_fit();
+      next.push_back(std::move(left));
+      next.push_back(std::move(right));
+    }
+    level = std::move(next);
+  }
+
+  // Depth limit reached: finalize any nodes still on the frontier.
+  for (const Frontier& fr : level) {
+    double G = 0.0, H = 0.0;
+    for (const std::size_t r : fr.rows) {
+      G += grad[r];
+      H += hess[r];
+    }
+    tree.nodes[static_cast<std::size_t>(fr.node)].value =
+        static_cast<float>(-G / (H + params_.lambda) * params_.learning_rate);
+  }
+  return tree;
+}
+
+void GradientBoostedTrees::fit(const Dataset& train) {
+  train.validate();
+  REPRO_CHECK_MSG(train.size() > 0, "empty training set");
+  const std::size_t n = train.size();
+  const std::size_t d = train.features();
+  features_ = d;
+  trees_.clear();
+
+  binner_.fit(train.X, params_.max_bins);
+  const std::vector<std::uint8_t> codes = binner_.transform(train.X);
+
+  // Weighted prior log-odds.
+  double wpos = 0.0, wtot = 0.0;
+  for (const Label l : train.y) {
+    const double w = l ? params_.pos_weight : 1.0;
+    wpos += l ? w : 0.0;
+    wtot += w;
+  }
+  const double prior = std::clamp(wpos / wtot, 1e-6, 1.0 - 1e-6);
+  base_score_ = static_cast<float>(std::log(prior / (1.0 - prior)));
+
+  std::vector<float> score(n, base_score_);
+  std::vector<float> grad(n), hess(n);
+  std::vector<std::size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+
+  for (std::size_t t = 0; t < params_.trees; ++t) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const float p = sigmoidf(score[r]);
+      const float w = train.y[r] ? static_cast<float>(params_.pos_weight) : 1.0f;
+      grad[r] = w * (p - static_cast<float>(train.y[r]));
+      hess[r] = w * p * (1.0f - p);
+    }
+    std::vector<std::size_t> rows;
+    if (params_.subsample < 1.0) {
+      rows.reserve(static_cast<std::size_t>(
+          params_.subsample * static_cast<double>(n) * 1.1));
+      for (std::size_t r = 0; r < n; ++r) {
+        if (rng_.bernoulli(params_.subsample)) rows.push_back(r);
+      }
+      if (rows.empty()) rows = all_rows;
+    } else {
+      rows = all_rows;
+    }
+    Tree tree = build_tree(codes, d, rows, grad, hess);
+    for (std::size_t r = 0; r < n; ++r) {
+      score[r] += tree.predict(train.X.row(r));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float GradientBoostedTrees::predict_proba(std::span<const float> x) const {
+  REPRO_CHECK_MSG(x.size() == features_, "feature width mismatch");
+  float z = base_score_;
+  for (const Tree& t : trees_) z += t.predict(x);
+  return sigmoidf(z);
+}
+
+std::vector<double> GradientBoostedTrees::feature_importance() const {
+  std::vector<double> imp(features_, 0.0);
+  for (const Tree& t : trees_) {
+    for (const Node& n : t.nodes) {
+      if (n.feature >= 0) imp[static_cast<std::size_t>(n.feature)] += n.gain;
+    }
+  }
+  return imp;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,156 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace repro::ml {
+
+namespace {
+double sq_dist(std::span<const float> a, std::span<const float> b) {
+  double d2 = 0.0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    const double d = static_cast<double>(a[c]) - b[c];
+    d2 += d * d;
+  }
+  return d2;
+}
+}  // namespace
+
+KMeansResult kmeans(const Matrix& X, const KMeansParams& params, Rng& rng) {
+  REPRO_CHECK(params.clusters > 0);
+  REPRO_CHECK_MSG(X.rows() >= params.clusters,
+                  "need at least as many rows as clusters");
+  const std::size_t n = X.rows();
+  const std::size_t d = X.cols();
+  const std::size_t k = params.clusters;
+
+  // k-means++ seeding.
+  KMeansResult result;
+  result.centroids = Matrix(k, d);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  std::size_t first = static_cast<std::size_t>(rng.uniform_index(n));
+  std::copy(X.row(first).begin(), X.row(first).end(),
+            result.centroids.row(0).begin());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i],
+                           sq_dist(X.row(i), result.centroids.row(c - 1)));
+      total += min_d2[i];
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= min_d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    std::copy(X.row(chosen).begin(), X.row(chosen).end(),
+              result.centroids.row(c).begin());
+  }
+
+  result.assignment.assign(n, 0);
+  std::vector<double> sums(k * d);
+  std::vector<std::size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (std::size_t it = 0; it < params.max_iterations; ++it) {
+    // Assign.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = sq_dist(X.row(i), result.centroids.row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = it + 1;
+
+    // Update.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.assignment[i];
+      const auto row = X.row(i);
+      for (std::size_t j = 0; j < d; ++j) sums[c * d + j] += row[j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      auto centroid = result.centroids.row(c);
+      for (std::size_t j = 0; j < d; ++j) {
+        centroid[j] =
+            static_cast<float>(sums[c * d + j] / static_cast<double>(counts[c]));
+      }
+    }
+    if (prev_inertia - inertia < params.tolerance * (1.0 + inertia)) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+Dataset undersample_majority_kmeans(const Dataset& d, double ratio,
+                                    std::size_t clusters, Rng& rng) {
+  REPRO_CHECK(ratio > 0.0 && clusters > 0);
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < d.size(); ++i) (d.y[i] ? pos : neg).push_back(i);
+  const auto keep = std::min<std::size_t>(
+      neg.size(), static_cast<std::size_t>(
+                      std::llround(ratio * static_cast<double>(pos.size()))));
+  if (keep == neg.size() || neg.empty()) {
+    std::vector<std::size_t> all = pos;
+    all.insert(all.end(), neg.begin(), neg.end());
+    rng.shuffle(all);
+    return d.select(all);
+  }
+
+  // Cluster the negatives and keep the most-central points per cluster,
+  // proportionally to cluster size.
+  Matrix Xneg(neg.size(), d.features());
+  for (std::size_t i = 0; i < neg.size(); ++i) {
+    const auto src = d.X.row(neg[i]);
+    std::copy(src.begin(), src.end(), Xneg.row(i).begin());
+  }
+  KMeansParams params;
+  params.clusters = std::min(clusters, neg.size());
+  const KMeansResult km = kmeans(Xneg, params, rng);
+
+  std::vector<std::vector<std::pair<double, std::size_t>>> by_cluster(
+      params.clusters);
+  for (std::size_t i = 0; i < neg.size(); ++i) {
+    const std::size_t c = km.assignment[i];
+    double d2 = 0.0;
+    const auto row = Xneg.row(i);
+    const auto centroid = km.centroids.row(c);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double diff = static_cast<double>(row[j]) - centroid[j];
+      d2 += diff * diff;
+    }
+    by_cluster[c].emplace_back(d2, neg[i]);
+  }
+  std::vector<std::size_t> kept = pos;
+  for (auto& cluster : by_cluster) {
+    std::sort(cluster.begin(), cluster.end());
+    const auto quota = static_cast<std::size_t>(std::llround(
+        static_cast<double>(keep) * static_cast<double>(cluster.size()) /
+        static_cast<double>(neg.size())));
+    for (std::size_t i = 0; i < quota && i < cluster.size(); ++i) {
+      kept.push_back(cluster[i].second);
+    }
+  }
+  rng.shuffle(kept);
+  return d.select(kept);
+}
+
+}  // namespace repro::ml

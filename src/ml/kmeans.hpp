@@ -1,0 +1,43 @@
+// k-means clustering + cluster-based under-sampling.
+//
+// Sec. VI-B lists the standard mitigations for the imbalanced dataset:
+// over-sampling the minority (SMOTE, ml/dataset.hpp) and under-sampling
+// the majority either randomly or "controlled ... via clustering
+// algorithms such as k-means" (their citation [20], Botezatu et al.).
+// This header provides both pieces: a Lloyd's-algorithm k-means and an
+// under-sampler that keeps the majority points closest to each centroid,
+// preserving the majority class's structure instead of thinning it
+// uniformly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace repro::ml {
+
+struct KMeansResult {
+  Matrix centroids;                    ///< k x d
+  std::vector<std::uint32_t> assignment;  ///< per input row
+  double inertia = 0.0;                ///< sum of squared distances
+  std::size_t iterations = 0;          ///< iterations until convergence
+};
+
+struct KMeansParams {
+  std::size_t clusters = 8;
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-4;  ///< stop when inertia improves less than this
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Requires rows >= clusters.
+KMeansResult kmeans(const Matrix& X, const KMeansParams& params, Rng& rng);
+
+/// Cluster-based under-sampling: clusters the MAJORITY class with k-means
+/// and keeps, per cluster, the points nearest its centroid, sized so the
+/// result has `ratio` negatives per positive. All positives are kept.
+Dataset undersample_majority_kmeans(const Dataset& d, double ratio,
+                                    std::size_t clusters, Rng& rng);
+
+}  // namespace repro::ml

@@ -1,0 +1,45 @@
+// L2-regularized logistic regression trained with mini-batch Adam.
+// The paper's fastest/simplest model (Table III) and its linear baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/model.hpp"
+
+namespace repro::ml {
+
+class LogisticRegression final : public Model {
+ public:
+  struct Params {
+    std::size_t epochs = 12;
+    std::size_t batch_size = 256;
+    double learning_rate = 0.05;
+    double l2 = 1e-4;
+    double pos_weight = 1.0;  ///< weight multiplier for positive samples
+  };
+
+  explicit LogisticRegression(std::uint64_t seed = 1234);
+  explicit LogisticRegression(const Params& params, std::uint64_t seed = 1234);
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] float predict_proba(std::span<const float> x) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "LR";
+  }
+
+  /// Learned coefficients (valid after fit).
+  [[nodiscard]] std::span<const float> weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] float bias() const noexcept { return bias_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace repro::ml

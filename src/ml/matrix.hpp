@@ -1,0 +1,59 @@
+// Dense row-major float matrix: the feature-matrix currency of the ML layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace repro::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+    REPRO_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    REPRO_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    REPRO_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    REPRO_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Appends a row; the first appended row fixes cols for empty matrices.
+  void push_row(std::span<const float> row) {
+    if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+    REPRO_CHECK_MSG(row.size() == cols_, "row width mismatch");
+    data_.insert(data_.end(), row.begin(), row.end());
+    ++rows_;
+  }
+
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+
+  void reserve_rows(std::size_t n) { data_.reserve(n * cols_); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace repro::ml

@@ -1,0 +1,88 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace repro::ml {
+
+void Confusion::add(bool truth, bool predicted) noexcept {
+  if (truth) {
+    predicted ? ++tp : ++fn;
+  } else {
+    predicted ? ++fp : ++tn;
+  }
+}
+
+PrMetrics pr_metrics(std::uint64_t tp, std::uint64_t fp, std::uint64_t fn) {
+  PrMetrics m;
+  const double dtp = static_cast<double>(tp);
+  m.precision = tp + fp == 0 ? 0.0 : dtp / static_cast<double>(tp + fp);
+  m.recall = tp + fn == 0 ? 0.0 : dtp / static_cast<double>(tp + fn);
+  m.f1 = m.precision + m.recall == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+ClassMetrics evaluate(std::span<const std::uint8_t> truth,
+                      std::span<const std::uint8_t> predicted) {
+  REPRO_CHECK(truth.size() == predicted.size());
+  ClassMetrics out;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    out.confusion.add(truth[i] != 0, predicted[i] != 0);
+  }
+  const Confusion& c = out.confusion;
+  out.positive = pr_metrics(c.tp, c.fp, c.fn);
+  // The negative class's "true positives" are the true negatives.
+  out.negative = pr_metrics(c.tn, c.fn, c.fp);
+  out.accuracy = c.total() == 0 ? 0.0
+                                : static_cast<double>(c.tp + c.tn) /
+                                      static_cast<double>(c.total());
+  return out;
+}
+
+ClassMetrics evaluate_proba(std::span<const std::uint8_t> truth,
+                            std::span<const float> proba, float threshold) {
+  REPRO_CHECK(truth.size() == proba.size());
+  std::vector<std::uint8_t> pred(truth.size());
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    pred[i] = proba[i] >= threshold ? 1 : 0;
+  }
+  return evaluate(truth, pred);
+}
+
+float best_f1_threshold(std::span<const std::uint8_t> truth,
+                        std::span<const float> proba) {
+  REPRO_CHECK(truth.size() == proba.size());
+  // Sweep thresholds at the observed scores: sort by descending score and
+  // accumulate tp/fp; F1 is maximized at one of the score cut points.
+  std::vector<std::size_t> order(proba.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return proba[a] > proba[b];
+  });
+  std::uint64_t total_pos = 0;
+  for (const auto t : truth) total_pos += t;
+  std::uint64_t tp = 0, fp = 0;
+  double best_f1 = -1.0;
+  float best_thr = 0.5f;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (truth[order[i]] ? tp : fp) += 1;
+    // Only evaluate where the score strictly drops (a valid cut point).
+    if (i + 1 < order.size() && proba[order[i + 1]] == proba[order[i]]) {
+      continue;
+    }
+    const PrMetrics m = pr_metrics(tp, fp, total_pos - tp);
+    if (m.f1 > best_f1) {
+      best_f1 = m.f1;
+      // Midpoint between this score and the next keeps the cut stable.
+      const float lo = i + 1 < order.size() ? proba[order[i + 1]] : 0.0f;
+      best_thr = (proba[order[i]] + lo) / 2.0f;
+    }
+  }
+  return best_thr;
+}
+
+}  // namespace repro::ml

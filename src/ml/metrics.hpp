@@ -1,0 +1,54 @@
+// Binary-classification evaluation: confusion matrix, per-class precision /
+// recall / F1 (Sec. VI-C1 Eq. 2-3 and Sec. VII-A Eq. 4). The paper reports
+// metrics separately for the SBE (positive) and non-SBE (negative) classes,
+// so ClassMetrics carries both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::ml {
+
+struct Confusion {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  void add(bool truth, bool predicted) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return tp + fp + tn + fn;
+  }
+};
+
+struct PrMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct ClassMetrics {
+  Confusion confusion;
+  PrMetrics positive;  ///< metrics for the SBE class
+  PrMetrics negative;  ///< metrics for the SBE-free class
+  double accuracy = 0.0;
+};
+
+/// Precision/recall/F1 for the class whose "hits" are (tp, fp, fn).
+PrMetrics pr_metrics(std::uint64_t tp, std::uint64_t fp, std::uint64_t fn);
+
+/// Full two-class evaluation from 0/1 truth and prediction vectors.
+ClassMetrics evaluate(std::span<const std::uint8_t> truth,
+                      std::span<const std::uint8_t> predicted);
+
+/// Evaluation from probabilities with a decision threshold.
+ClassMetrics evaluate_proba(std::span<const std::uint8_t> truth,
+                            std::span<const float> proba,
+                            float threshold = 0.5f);
+
+/// Threshold in (0,1) maximizing positive-class F1 on the given data.
+float best_f1_threshold(std::span<const std::uint8_t> truth,
+                        std::span<const float> proba);
+
+}  // namespace repro::ml

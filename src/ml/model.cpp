@@ -1,0 +1,97 @@
+#include "ml/model.hpp"
+
+#include <cmath>
+
+#include "ml/gbdt.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/neural_network.hpp"
+#include "ml/svm.hpp"
+
+namespace repro::ml {
+
+std::vector<float> Model::predict_proba_batch(const Matrix& X) const {
+  std::vector<float> out;
+  out.reserve(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    out.push_back(predict_proba(X.row(r)));
+  }
+  return out;
+}
+
+std::vector<Label> Model::predict_batch(const Matrix& X,
+                                        float threshold) const {
+  std::vector<Label> out;
+  out.reserve(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    out.push_back(predict_proba(X.row(r)) >= threshold ? 1 : 0);
+  }
+  return out;
+}
+
+void StandardScaler::fit(const Matrix& X) {
+  REPRO_CHECK_MSG(X.rows() > 0, "cannot fit scaler on empty matrix");
+  const std::size_t d = X.cols();
+  std::vector<double> sum(d, 0.0), sum2(d, 0.0);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      sum[c] += row[c];
+      sum2[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  mean_.resize(d);
+  std_.resize(d);
+  const auto n = static_cast<double>(X.rows());
+  for (std::size_t c = 0; c < d; ++c) {
+    const double m = sum[c] / n;
+    const double var = sum2[c] / n - m * m;
+    mean_[c] = static_cast<float>(m);
+    std_[c] = var > 1e-12 ? static_cast<float>(std::sqrt(var)) : 1.0f;
+  }
+}
+
+void StandardScaler::transform_row(std::span<float> row) const {
+  REPRO_CHECK_MSG(row.size() == mean_.size(), "scaler width mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    row[c] = (row[c] - mean_[c]) / std_[c];
+  }
+}
+
+void StandardScaler::transform_inplace(Matrix& X) const {
+  for (std::size_t r = 0; r < X.rows(); ++r) transform_row(X.row(r));
+}
+
+Matrix StandardScaler::transform(const Matrix& X) const {
+  Matrix out = X;
+  transform_inplace(out);
+  return out;
+}
+
+std::string_view to_string(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kLogisticRegression: return "LR";
+    case ModelKind::kGbdt: return "GBDT";
+    case ModelKind::kSvm: return "SVM";
+    case ModelKind::kNeuralNetwork: return "NN";
+  }
+  return "?";
+}
+
+std::unique_ptr<Model> make_model(ModelKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      return std::make_unique<LogisticRegression>(LogisticRegression::Params{},
+                                                  seed);
+    case ModelKind::kGbdt:
+      return std::make_unique<GradientBoostedTrees>(
+          GradientBoostedTrees::Params{}, seed);
+    case ModelKind::kSvm:
+      return std::make_unique<Svm>(Svm::Params{}, seed);
+    case ModelKind::kNeuralNetwork:
+      return std::make_unique<NeuralNetwork>(NeuralNetwork::Params{}, seed);
+  }
+  REPRO_CHECK_MSG(false, "unknown model kind");
+  return nullptr;
+}
+
+}  // namespace repro::ml

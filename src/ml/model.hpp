@@ -1,0 +1,63 @@
+// Abstract two-class probabilistic classifier (Sec. VI-D): the interface
+// shared by Logistic Regression, GBDT, SVM and the neural network, plus the
+// standardizing scaler most of them need.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace repro::ml {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on the dataset. May be called repeatedly (re-fits from scratch).
+  virtual void fit(const Dataset& train) = 0;
+
+  /// P(y = 1 | x) for one feature row (width = training width).
+  [[nodiscard]] virtual float predict_proba(
+      std::span<const float> x) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Batch helpers built on predict_proba.
+  [[nodiscard]] std::vector<float> predict_proba_batch(const Matrix& X) const;
+  [[nodiscard]] std::vector<Label> predict_batch(const Matrix& X,
+                                                 float threshold = 0.5f) const;
+};
+
+/// Per-feature standardization (x - mean) / std, fit on training data.
+/// Constant features pass through unchanged.
+class StandardScaler {
+ public:
+  void fit(const Matrix& X);
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+
+  void transform_inplace(Matrix& X) const;
+  [[nodiscard]] Matrix transform(const Matrix& X) const;
+  void transform_row(std::span<float> row) const;
+
+  [[nodiscard]] std::span<const float> means() const noexcept { return mean_; }
+  [[nodiscard]] std::span<const float> stds() const noexcept { return std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+/// The model families evaluated in the paper.
+enum class ModelKind { kLogisticRegression, kGbdt, kSvm, kNeuralNetwork };
+
+[[nodiscard]] std::string_view to_string(ModelKind kind) noexcept;
+
+/// Factory with the defaults used across the evaluation section.
+[[nodiscard]] std::unique_ptr<Model> make_model(ModelKind kind,
+                                                std::uint64_t seed = 1234);
+
+}  // namespace repro::ml

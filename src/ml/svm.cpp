@@ -1,0 +1,273 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace repro::ml {
+
+Svm::Svm(std::uint64_t seed) : Svm(Params{}, seed) {}
+
+Svm::Svm(const Params& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+namespace {
+inline double rbf(std::span<const float> a, std::span<const float> b,
+                  double gamma) noexcept {
+  double d2 = 0.0;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    const double d = static_cast<double>(a[c]) - b[c];
+    d2 += d * d;
+  }
+  return std::exp(-gamma * d2);
+}
+}  // namespace
+
+void Svm::lift(std::span<const float> x, std::span<float> out) const {
+  const std::size_t D = params_.rff_dims;
+  const float scale = std::sqrt(2.0f / static_cast<float>(D));
+  for (std::size_t j = 0; j < D; ++j) {
+    const float* w = proj_.data() + j * input_dims_;
+    float dot = offset_[j];
+    for (std::size_t c = 0; c < input_dims_; ++c) dot += w[c] * x[c];
+    out[j] = scale * std::cos(dot);
+  }
+}
+
+void Svm::fit(const Dataset& train) {
+  train.validate();
+  REPRO_CHECK_MSG(train.size() > 0, "empty training set");
+  input_dims_ = train.features();
+  gamma_ = params_.gamma > 0.0 ? params_.gamma
+                               : 1.0 / static_cast<double>(input_dims_);
+  if (params_.mode == Mode::kSmoRbf) {
+    fit_smo(train);
+  } else {
+    fit_rff(train);
+  }
+}
+
+void Svm::fit_smo(const Dataset& train) {
+  // Stratified subsample to the dual-problem cap.
+  std::vector<std::size_t> rows(train.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  if (train.size() > params_.max_smo_samples) {
+    std::vector<std::size_t> pos, neg;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      (train.y[i] ? pos : neg).push_back(i);
+    }
+    const double keep = static_cast<double>(params_.max_smo_samples) /
+                        static_cast<double>(train.size());
+    auto cut = [&](std::vector<std::size_t>& v) {
+      rng_.shuffle(v);
+      v.resize(std::max<std::size_t>(
+          1, static_cast<std::size_t>(keep * static_cast<double>(v.size()))));
+    };
+    cut(pos);
+    cut(neg);
+    rows = pos;
+    rows.insert(rows.end(), neg.begin(), neg.end());
+    rng_.shuffle(rows);
+  }
+  const std::size_t n = rows.size();
+  Matrix X(n, input_dims_);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = train.X.row(rows[i]);
+    std::copy(src.begin(), src.end(), X.row(i).begin());
+    y[i] = train.y[rows[i]] ? 1.0f : -1.0f;
+  }
+
+  // Simplified SMO (Platt), with decision values f[i] maintained
+  // incrementally: f[i] = sum_j alpha_j y_j K(j, i) + b.
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> f(n, 0.0);
+  double b = 0.0;
+  const double tol = params_.smo_tol;
+  auto c_of = [&](std::size_t i) {
+    return y[i] > 0 ? params_.c * params_.pos_weight : params_.c;
+  };
+
+  std::size_t iters = 0;
+  std::size_t passes = 0;
+  while (passes < params_.smo_max_passes && iters < params_.smo_max_iters) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n && iters < params_.smo_max_iters; ++i) {
+      const double Ei = f[i] + b - y[i];
+      const double Ci = c_of(i);
+      if (!((y[i] * Ei < -tol && alpha[i] < Ci) ||
+            (y[i] * Ei > tol && alpha[i] > 0.0))) {
+        continue;
+      }
+      // Pick a random partner j != i.
+      std::size_t j = static_cast<std::size_t>(rng_.uniform_index(n - 1));
+      if (j >= i) ++j;
+      const double Ej = f[j] + b - y[j];
+      const double Cj = c_of(j);
+
+      const double ai_old = alpha[i], aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(Cj, Ci + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - Ci);
+        hi = std::min(Cj, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double kii = 1.0;  // RBF(x, x) == 1
+      const double kjj = 1.0;
+      const double kij = rbf(X.row(i), X.row(j), gamma_);
+      const double eta = 2.0 * kij - kii - kjj;
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - y[j] * (Ei - Ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-7) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      // Update the decision cache and bias.
+      const double di = (ai - ai_old) * y[i];
+      const double dj = (aj - aj_old) * y[j];
+      for (std::size_t k = 0; k < n; ++k) {
+        double delta = 0.0;
+        if (di != 0.0) delta += di * rbf(X.row(i), X.row(k), gamma_);
+        if (dj != 0.0) delta += dj * rbf(X.row(j), X.row(k), gamma_);
+        f[k] += delta;
+      }
+      const double b1 = b - Ei - di * 1.0 - dj * kij;
+      const double b2 = b - Ej - di * kij - dj * 1.0;
+      if (ai > 0.0 && ai < Ci) {
+        b = b1;
+      } else if (aj > 0.0 && aj < Cj) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / 2.0;
+      }
+      ++changed;
+      ++iters;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  // Keep only support vectors.
+  support_ = Matrix(0, input_dims_);
+  dual_coef_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      support_.push_row(X.row(i));
+      dual_coef_.push_back(static_cast<float>(alpha[i] * y[i]));
+    }
+  }
+  smo_bias_ = static_cast<float>(b);
+
+  // Platt scaling on (subsampled) training margins.
+  std::vector<float> margins(n);
+  std::vector<Label> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    margins[i] = margin(X.row(i));
+    labels[i] = y[i] > 0 ? 1 : 0;
+  }
+  fit_platt(margins, labels);
+}
+
+void Svm::fit_rff(const Dataset& train) {
+  const std::size_t n = train.size();
+  const std::size_t D = params_.rff_dims;
+  const double w_std = std::sqrt(2.0 * gamma_);
+  proj_.resize(D * input_dims_);
+  offset_.resize(D);
+  for (auto& p : proj_) p = static_cast<float>(rng_.normal(0.0, w_std));
+  for (auto& o : offset_) {
+    o = static_cast<float>(rng_.uniform(0.0, 2.0 * std::numbers::pi));
+  }
+
+  // Pre-lift the training set; dominates memory but makes epochs
+  // cache-friendly.
+  Matrix lifted(n, D);
+  for (std::size_t r = 0; r < n; ++r) lift(train.X.row(r), lifted.row(r));
+
+  weights_.assign(D, 0.0f);
+  bias_ = 0.0f;
+  const double lambda = 1.0 / (params_.c * static_cast<double>(n));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (const std::size_t r : order) {
+      ++t;
+      const double eta = 1.0 / (lambda * static_cast<double>(t));
+      const auto phi = lifted.row(r);
+      const float y = train.y[r] ? 1.0f : -1.0f;
+      float m = bias_;
+      for (std::size_t j = 0; j < D; ++j) m += weights_[j] * phi[j];
+      // Pegasos step: shrink + (sub)gradient of the hinge loss.
+      const float shrink = static_cast<float>(1.0 - eta * lambda);
+      for (std::size_t j = 0; j < D; ++j) weights_[j] *= shrink;
+      if (y * m < 1.0f) {
+        const float w_sample =
+            train.y[r] ? static_cast<float>(params_.pos_weight) : 1.0f;
+        const float step = static_cast<float>(eta) * y * w_sample;
+        for (std::size_t j = 0; j < D; ++j) weights_[j] += step * phi[j];
+        bias_ += step * 0.1f;  // lightly-regularized intercept
+      }
+    }
+  }
+
+  std::vector<float> margins(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto phi = lifted.row(r);
+    float m = bias_;
+    for (std::size_t j = 0; j < D; ++j) m += weights_[j] * phi[j];
+    margins[r] = m;
+  }
+  fit_platt(margins, train.y);
+}
+
+void Svm::fit_platt(std::span<const float> margins,
+                    std::span<const Label> labels) {
+  double a = 1.0, b = 0.0;
+  const double lr = 0.1;
+  const auto n = static_cast<double>(margins.size());
+  for (std::uint64_t it = 0; it < params_.platt_iters; ++it) {
+    double ga = 0.0, gb = 0.0;
+    for (std::size_t r = 0; r < margins.size(); ++r) {
+      const double p = 1.0 / (1.0 + std::exp(-(a * margins[r] + b)));
+      const double err = p - static_cast<double>(labels[r]);
+      ga += err * margins[r];
+      gb += err;
+    }
+    a -= lr * ga / n;
+    b -= lr * gb / n;
+  }
+  platt_a_ = static_cast<float>(a);
+  platt_b_ = static_cast<float>(b);
+}
+
+float Svm::margin(std::span<const float> x) const {
+  REPRO_CHECK_MSG(x.size() == input_dims_, "feature width mismatch");
+  if (params_.mode == Mode::kSmoRbf) {
+    double m = smo_bias_;
+    for (std::size_t s = 0; s < support_.rows(); ++s) {
+      m += dual_coef_[s] * rbf(support_.row(s), x, gamma_);
+    }
+    return static_cast<float>(m);
+  }
+  std::vector<float> phi(params_.rff_dims);
+  lift(x, phi);
+  float m = bias_;
+  for (std::size_t j = 0; j < phi.size(); ++j) m += weights_[j] * phi[j];
+  return m;
+}
+
+float Svm::predict_proba(std::span<const float> x) const {
+  const float m = margin(x);
+  return 1.0f / (1.0f + std::exp(-(platt_a_ * m + platt_b_)));
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,255 @@
+#include "sim/trace_io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace repro::sim {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x54524143'45763034ULL;  // "TRACEv04"
+
+// Fold a printable representation of every generative parameter; string
+// formatting keeps the fingerprint independent of struct padding.
+void fold(std::uint64_t& h, const char* name, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s=%.17g;", name, v);
+  for (const char* p = buf; *p; ++p) {
+    h = hash_combine(h, static_cast<std::uint64_t>(*p));
+  }
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_vec(std::istream& in, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t n = 0;
+  read_pod(in, n);
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+void write_hist(std::ostream& out, const Histogram& h) {
+  std::vector<std::uint64_t> counts(h.bins());
+  for (std::size_t b = 0; b < h.bins(); ++b) counts[b] = h.count(b);
+  write_vec(out, counts);
+}
+
+void read_hist(std::istream& in, Histogram& h) {
+  std::vector<std::uint64_t> counts;
+  read_vec(in, counts);
+  REPRO_CHECK_MSG(counts.size() == h.bins(), "histogram shape mismatch");
+  h.clear();
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] > 0) h.add(h.bin_center(b), counts[b]);
+  }
+}
+
+// POD mirror of a RunNodeSample without relying on struct layout of the
+// nested FourStats arrays staying stable — RunNodeSample itself is
+// trivially copyable, so we can write it raw and guard with the version.
+static_assert(std::is_trivially_copyable_v<RunNodeSample>);
+static_assert(std::is_trivially_copyable_v<faults::SbeEvent>);
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const SimConfig& c) {
+  std::uint64_t h = kMagic;
+  fold(h, "gx", c.system.grid_x);
+  fold(h, "gy", c.system.grid_y);
+  fold(h, "cpc", c.system.cages_per_cabinet);
+  fold(h, "spc", c.system.slots_per_cage);
+  fold(h, "nps", c.system.nodes_per_slot);
+  fold(h, "days", static_cast<double>(c.days));
+  fold(h, "seed", static_cast<double>(c.seed));
+  fold(h, "napps", static_cast<double>(c.catalog.num_apps));
+  fold(h, "popexp", c.catalog.popularity_exponent);
+  fold(h, "medrt", c.catalog.median_runtime_min);
+  fold(h, "rtspread", c.catalog.runtime_spread);
+  fold(h, "maxnodes", c.catalog.max_nodes_cap);
+  fold(h, "jph", c.scheduler.jobs_per_hour);
+  fold(h, "apj", c.scheduler.apruns_per_job_mean);
+  fold(h, "users", c.scheduler.num_users);
+  fold(h, "occ", c.scheduler.target_occupancy);
+  fold(h, "amb", c.thermal.ambient_base_c);
+  fold(h, "bump", c.thermal.corner_bump_c);
+  fold(h, "bsig", c.thermal.corner_sigma_frac);
+  fold(h, "cstd", c.thermal.cabinet_cooling_std_c);
+  fold(h, "idle", c.thermal.idle_offset_c);
+  fold(h, "lgain", c.thermal.load_gain_c);
+  fold(h, "ngain", c.thermal.neighbor_gain_c);
+  fold(h, "heat", c.thermal.heat_rate);
+  fold(h, "cool", c.thermal.cool_rate);
+  fold(h, "diur", c.thermal.diurnal_amp_c);
+  fold(h, "tnoise", c.thermal.temp_noise_c);
+  fold(h, "cidle", c.thermal.cpu_idle_offset_c);
+  fold(h, "cgain", c.thermal.cpu_load_gain_c);
+  fold(h, "crate", c.thermal.cpu_rate);
+  fold(h, "cnoise", c.thermal.cpu_noise_c);
+  fold(h, "ipow", c.thermal.idle_power_w);
+  fold(h, "dpow", c.thermal.dynamic_power_w);
+  fold(h, "leak", c.thermal.leakage_w_per_c);
+  fold(h, "pnoise", c.thermal.power_noise_w);
+  fold(h, "effstd", c.thermal.node_efficiency_std);
+  fold(h, "offfrac", c.faults.node_offender_fraction);
+  fold(h, "nmu", c.faults.node_scale_mu);
+  fold(h, "nsig", c.faults.node_scale_sigma);
+  fold(h, "floor", c.faults.floor_scale);
+  fold(h, "heavy", c.faults.app_heavy_fraction);
+  fold(h, "asig", c.faults.app_scale_sigma);
+  fold(h, "afloor", c.faults.app_floor_scale);
+  fold(h, "hpop", c.faults.heavy_pop_exponent);
+  fold(h, "memx", c.faults.mem_exponent);
+  fold(h, "utilx", c.faults.util_exponent);
+  fold(h, "luck", c.faults.run_luck_sigma);
+  fold(h, "scalex", c.faults.scale_exponent);
+  fold(h, "popx", c.faults.popularity_exponent);
+  fold(h, "base", c.faults.base_rate_per_min);
+  fold(h, "tcoef", c.faults.temp_coeff);
+  fold(h, "tknee", c.faults.temp_knee_c);
+  fold(h, "tshape", c.faults.temp_shape);
+  fold(h, "pcoef", c.faults.power_coeff);
+  fold(h, "pref", c.faults.power_ref_w);
+  fold(h, "boost", c.faults.burst_boost);
+  fold(h, "cap", c.faults.rate_cap_per_min);
+  fold(h, "bgb", c.faults.burst_per_gb);
+  fold(h, "bsig2", c.faults.burst_sigma);
+  fold(h, "drift", static_cast<double>(c.faults.drift_day));
+  fold(h, "driftf", c.faults.drift_node_fraction);
+  for (const auto p : c.probe_nodes) fold(h, "probe", p);
+  return h;
+}
+
+void save_trace(const Trace& trace, const SimConfig& config,
+                const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  REPRO_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_pod(out, kMagic);
+  write_pod(out, config_fingerprint(config));
+  write_pod(out, trace.duration);
+  write_vec(out, trace.samples);
+
+  const auto& events = trace.sbe_log.events();
+  write_vec(out, events);
+
+  write_pod(out, static_cast<std::uint64_t>(trace.cumulative.size()));
+  for (const auto& cum : trace.cumulative) {
+    write_pod(out, cum.gpu_temp.state());
+    write_pod(out, cum.gpu_power.state());
+    write_pod(out, cum.cpu_temp.state());
+  }
+  write_pod(out, static_cast<std::uint64_t>(trace.period_hists.size()));
+  for (const auto& h : trace.period_hists) {
+    write_hist(out, h.temp_free);
+    write_hist(out, h.temp_affected);
+    write_hist(out, h.power_free);
+    write_hist(out, h.power_affected);
+  }
+  write_pod(out, static_cast<std::uint64_t>(trace.probes.size()));
+  for (const auto& p : trace.probes) {
+    write_pod(out, p.node);
+    write_vec(out, p.gpu_temp);
+    write_vec(out, p.gpu_power);
+    write_vec(out, p.cpu_temp);
+    write_vec(out, p.slot_avg_temp);
+    write_vec(out, p.slot_avg_power);
+    write_vec(out, p.cage_avg_temp);
+  }
+  REPRO_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+std::optional<Trace> load_trace(const SimConfig& config,
+                                const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::uint64_t magic = 0, fp = 0;
+  read_pod(in, magic);
+  read_pod(in, fp);
+  if (magic != kMagic || fp != config_fingerprint(config)) return std::nullopt;
+
+  // The catalog is regenerated deterministically from the config exactly
+  // as the simulator would (see Simulator's constructor).
+  Rng rng(config.seed);
+  auto catalog = workload::AppCatalog::generate(config.catalog, rng.fork(1));
+  const auto total_apps = static_cast<std::int32_t>(catalog.size());
+  Trace trace(config.system, std::move(catalog), total_apps);
+
+  read_pod(in, trace.duration);
+  read_vec(in, trace.samples);
+  std::vector<faults::SbeEvent> events;
+  read_vec(in, events);
+  for (const auto& e : events) trace.sbe_log.add(e);
+
+  std::uint64_t n = 0;
+  read_pod(in, n);
+  if (n != trace.cumulative.size()) return std::nullopt;
+  for (auto& cum : trace.cumulative) {
+    RunningStats::State s;
+    read_pod(in, s);
+    cum.gpu_temp = RunningStats::from_state(s);
+    read_pod(in, s);
+    cum.gpu_power = RunningStats::from_state(s);
+    read_pod(in, s);
+    cum.cpu_temp = RunningStats::from_state(s);
+  }
+  read_pod(in, n);
+  if (n != trace.period_hists.size()) return std::nullopt;
+  for (auto& h : trace.period_hists) {
+    read_hist(in, h.temp_free);
+    read_hist(in, h.temp_affected);
+    read_hist(in, h.power_free);
+    read_hist(in, h.power_affected);
+  }
+  read_pod(in, n);
+  trace.probes.resize(n);
+  for (auto& p : trace.probes) {
+    read_pod(in, p.node);
+    read_vec(in, p.gpu_temp);
+    read_vec(in, p.gpu_power);
+    read_vec(in, p.cpu_temp);
+    read_vec(in, p.slot_avg_temp);
+    read_vec(in, p.slot_avg_power);
+    read_vec(in, p.cage_avg_temp);
+  }
+  if (!in.good()) return std::nullopt;
+  return trace;
+}
+
+Trace cached_simulate(const SimConfig& config, const std::string& cache_dir) {
+  std::filesystem::create_directories(cache_dir);
+  char name[64];
+  std::snprintf(name, sizeof(name), "trace_%016llx.bin",
+                static_cast<unsigned long long>(config_fingerprint(config)));
+  const std::string path = cache_dir + "/" + name;
+  if (auto loaded = load_trace(config, path)) return std::move(*loaded);
+  Trace trace = simulate(config);
+  save_trace(trace, config, path);
+  return trace;
+}
+
+}  // namespace repro::sim

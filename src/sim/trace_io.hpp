@@ -1,0 +1,33 @@
+// Binary trace caching.
+//
+// A full-scale trace takes the better part of a minute to simulate; the
+// bench suite consumes the same trace in a dozen binaries. cached_simulate()
+// keys a cache file on a fingerprint of the SimConfig, so the first bench
+// pays the simulation cost and the rest load in well under a second.
+//
+// The format is a local cache, not an interchange format: it is
+// endianness/ABI-naive by design and guarded by a fingerprint + version.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace repro::sim {
+
+/// Stable fingerprint of everything that influences simulate(config).
+std::uint64_t config_fingerprint(const SimConfig& config);
+
+/// Writes the trace (catalog excluded; it is regenerated from the config).
+void save_trace(const Trace& trace, const SimConfig& config,
+                const std::string& path);
+
+/// Loads a trace if the file exists and matches the config fingerprint.
+std::optional<Trace> load_trace(const SimConfig& config,
+                                const std::string& path);
+
+/// load_trace or simulate-and-save. `cache_dir` must exist or be creatable.
+Trace cached_simulate(const SimConfig& config, const std::string& cache_dir);
+
+}  // namespace repro::sim

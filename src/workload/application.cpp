@@ -1,0 +1,62 @@
+#include "workload/application.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace repro::workload {
+
+AppCatalog AppCatalog::generate(const CatalogParams& params, Rng rng) {
+  REPRO_CHECK(params.num_apps > 0);
+  std::vector<ApplicationSpec> apps;
+  apps.reserve(params.num_apps);
+  for (std::size_t i = 0; i < params.num_apps; ++i) {
+    ApplicationSpec a;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "app_%04zu", i);
+    a.name = buf;
+
+    a.median_runtime_min = std::clamp(
+        params.median_runtime_min *
+            std::exp(rng.normal(0.0, params.runtime_spread)),
+        10.0, 24.0 * 60.0);
+    a.runtime_sigma = rng.uniform(0.25, 0.6);
+
+    a.util_mean = std::clamp(0.25 + 0.55 * rng.uniform() + 0.2 * rng.normal(),
+                             0.15, 1.0);
+    a.util_jitter = rng.uniform(0.02, 0.08);
+
+    a.mem_mean_gb = std::clamp(rng.lognormal(std::log(1.5), 0.8), 0.1, 5.6);
+    a.mem_sigma = rng.uniform(0.1, 0.35);
+
+    // Node count range: log-uniform small..large, capped by machine size.
+    const double lo = std::exp(rng.uniform(0.0, std::log(16.0)));
+    a.min_nodes = std::max<std::int32_t>(1, static_cast<std::int32_t>(lo));
+    const double hi_mult = std::exp(rng.uniform(0.0, std::log(4.0)));
+    a.max_nodes = std::min<std::int32_t>(
+        params.max_nodes_cap,
+        std::max<std::int32_t>(
+            a.min_nodes,
+            static_cast<std::int32_t>(static_cast<double>(a.min_nodes) * hi_mult)));
+    apps.push_back(std::move(a));
+  }
+  return AppCatalog(std::move(apps),
+                    ZipfSampler(params.num_apps, params.popularity_exponent));
+}
+
+const ApplicationSpec& AppCatalog::spec(AppId id) const {
+  REPRO_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < apps_.size(),
+                  "app id out of range: " << id);
+  return apps_[static_cast<std::size_t>(id)];
+}
+
+AppId AppCatalog::sample(Rng& rng) const {
+  return static_cast<AppId>(sampler_(rng));
+}
+
+double AppCatalog::popularity(AppId id) const {
+  REPRO_CHECK(id >= 0 && static_cast<std::size_t>(id) < apps_.size());
+  return sampler_.pmf(static_cast<std::size_t>(id));
+}
+
+}  // namespace repro::workload

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Csv, RoundTripsQuotedFields) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"name", "value", "note"});
+  writer.write_row({std::string("plain"), "1", "with,comma"});
+  writer.write_row({std::string("q\"uote"), "2", "multi\nline"});
+  EXPECT_EQ(writer.rows_written(), 2u);
+
+  std::istringstream in(out.str());
+  const CsvContent content = read_csv(in);
+  ASSERT_EQ(content.header.size(), 3u);
+  EXPECT_EQ(content.header[0], "name");
+  ASSERT_EQ(content.rows.size(), 2u);
+  EXPECT_EQ(content.rows[0][2], "with,comma");
+  EXPECT_EQ(content.rows[1][0], "q\"uote");
+  EXPECT_EQ(content.rows[1][2], "multi\nline");
+}
+
+TEST(Csv, NumericRowsUsePrecision) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  writer.write_row(std::vector<double>{1.23456789, 2.0}, 3);
+  EXPECT_NE(out.str().find("1.235"), std::string::npos);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  EXPECT_THROW(writer.write_row({std::string("only-one")}), CheckError);
+}
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(Csv, ReadHandlesCrlfAndTrailingNewline) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  const CsvContent content = read_csv(in);
+  ASSERT_EQ(content.rows.size(), 1u);
+  EXPECT_EQ(content.rows[0][1], "2");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Scheme", "Precision"});
+  t.add_row({std::string("Random"), "0.02"});
+  t.add_row("Basic A", {0.4}, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Scheme"), std::string::npos);
+  EXPECT_NE(out.find("Basic A"), std::string::npos);
+  EXPECT_NE(out.find("0.40"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only")}), CheckError);
+}
+
+TEST(Grid, RendersRowsTopDown) {
+  const std::vector<std::vector<double>> grid = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::string out = render_grid(grid, 0);
+  // y=1 row ("3 4") must appear before y=0 row ("1 2").
+  EXPECT_LT(out.find('3'), out.find('1'));
+}
+
+TEST(Grid, ShadesSpanRange) {
+  const std::vector<std::vector<double>> grid = {{0.0, 0.5, 1.0}};
+  const std::string out = render_grid_shades(grid);
+  EXPECT_NE(out.find(' '), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace repro

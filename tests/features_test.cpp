@@ -1,0 +1,197 @@
+#include "features/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/test_trace.hpp"
+
+namespace repro::features {
+namespace {
+
+using repro::testing::shared_tiny_trace;
+
+TEST(FeatureMasks, TableIvSetRelations) {
+  // Cur ⊂ CurPrev ⊂ CurPrevNei and Cur ⊂ CurNei ⊂ CurPrevNei.
+  EXPECT_EQ(kSetCur & ~kSetCurPrev, 0u);
+  EXPECT_EQ(kSetCur & ~kSetCurNei, 0u);
+  EXPECT_EQ(kSetCurPrev & ~kSetCurPrevNei, 0u);
+  EXPECT_EQ(kSetCurNei & ~kSetCurPrevNei, 0u);
+  EXPECT_EQ(kSetCurPrevNei, kAllFeatures);
+  // The Fig 11 groups partition (with location) the full set.
+  EXPECT_EQ(kGroupHist | kGroupTp | kGroupApp | kFeatLocation, kAllFeatures);
+  EXPECT_EQ(kGroupHist & kGroupTp, 0u);
+  EXPECT_EQ(kGroupHist & kGroupApp, 0u);
+}
+
+TEST(FeatureExtractor, DimMatchesNames) {
+  const sim::Trace& trace = shared_tiny_trace();
+  for (const FeatureMask mask :
+       {kAllFeatures, kGroupHist, kGroupTp, kGroupApp, kSetCur, kSetCurPrev,
+        kSetCurNei}) {
+    const FeatureExtractor fx(trace, {.mask = mask});
+    EXPECT_EQ(fx.dim(), fx.names().size());
+    EXPECT_GT(fx.dim(), 0u);
+    std::set<std::string> uniq(fx.names().begin(), fx.names().end());
+    EXPECT_EQ(uniq.size(), fx.dim()) << "duplicate names, mask=" << mask;
+  }
+}
+
+TEST(FeatureExtractor, SubsetMasksShrinkDimension) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor all(trace, {.mask = kAllFeatures});
+  const FeatureExtractor cur(trace, {.mask = kSetCur});
+  const FeatureExtractor hist(trace, {.mask = kGroupHist});
+  EXPECT_LT(cur.dim(), all.dim());
+  EXPECT_LT(hist.dim(), cur.dim());
+  // Cur removes exactly the 32 pre-window + 12 neighbor columns.
+  EXPECT_EQ(all.dim() - cur.dim(), 44u);
+  EXPECT_EQ(hist.dim(), 8u);
+}
+
+TEST(FeatureExtractor, EmptyMaskThrows) {
+  const sim::Trace& trace = shared_tiny_trace();
+  EXPECT_THROW(FeatureExtractor(trace, {.mask = 0}), CheckError);
+}
+
+TEST(FeatureExtractor, ExtractIsDeterministic) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor fx(trace, {});
+  std::vector<float> a(fx.dim()), b(fx.dim());
+  fx.extract(trace.samples[5], a);
+  fx.extract(trace.samples[5], b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FeatureExtractor, WrongOutputWidthThrows) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor fx(trace, {});
+  std::vector<float> wrong(fx.dim() + 1);
+  EXPECT_THROW(fx.extract(trace.samples[0], wrong), CheckError);
+}
+
+TEST(FeatureExtractor, AppOneHotIsExactlyOne) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureSpec spec{.mask = kGroupApp};
+  const FeatureExtractor fx(trace, spec);
+  std::vector<float> out(fx.dim());
+  for (const std::size_t i : {0UL, 17UL, 101UL}) {
+    fx.extract(trace.samples[i], out);
+    float app_sum = 0.0f;
+    for (std::size_t b = 0; b < spec.app_hash_buckets; ++b) app_sum += out[b];
+    EXPECT_FLOAT_EQ(app_sum, 1.0f);
+  }
+}
+
+TEST(FeatureExtractor, HistoryMatchesSbeLogQueries) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor fx(trace, {.mask = kGroupHist});
+  const auto& names = fx.names();
+  const auto col = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), name) - names.begin());
+  };
+  std::vector<float> out(fx.dim());
+  // Pick a positive sample late in the trace so history is non-trivial.
+  for (auto it = trace.samples.rbegin(); it != trace.samples.rend(); ++it) {
+    if (!it->sbe_affected()) continue;
+    const sim::RunNodeSample& s = *it;
+    fx.extract(s, out);
+    const Minute t = s.start;
+    EXPECT_FLOAT_EQ(out[col("hist_node_today")],
+                    static_cast<float>(trace.sbe_log.node_count_between(
+                        s.node, t - kMinutesPerDay, t)));
+    EXPECT_FLOAT_EQ(out[col("hist_global_before")],
+                    static_cast<float>(trace.sbe_log.global_count_between(
+                        0, t - 2 * kMinutesPerDay)));
+    EXPECT_FLOAT_EQ(out[col("hist_app_today")],
+                    static_cast<float>(trace.sbe_log.app_count_between(
+                        s.app, t - kMinutesPerDay, t)));
+    break;
+  }
+}
+
+TEST(FeatureExtractor, HistoryOnlySeesPastObservations) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor fx(trace, {.mask = kGroupHist});
+  // The very first sample starts at a time with no observable history.
+  std::vector<float> out(fx.dim());
+  fx.extract(trace.samples.front(), out);
+  for (const float v : out) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(FeatureExtractor, BuildsLabeledDataset) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor fx(trace, {});
+  std::vector<std::size_t> idx = {0, 5, 10, 20};
+  const ml::Dataset d = fx.build(idx);
+  d.validate();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.features(), fx.dim());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    EXPECT_EQ(d.y[r], trace.samples[idx[r]].sbe_affected() ? 1 : 0);
+  }
+  EXPECT_THROW(fx.build(std::vector<std::size_t>{trace.samples.size()}),
+               CheckError);
+}
+
+TEST(FeatureExtractor, LocationFeaturesMatchTopology) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor fx(trace, {.mask = kFeatLocation});
+  const topo::Topology topology(trace.system);
+  std::vector<float> out(fx.dim());
+  const sim::RunNodeSample& s = trace.samples[3];
+  fx.extract(s, out);
+  const auto addr = topology.address_of(s.node);
+  EXPECT_FLOAT_EQ(out[0], static_cast<float>(addr.cab_x));
+  EXPECT_FLOAT_EQ(out[1], static_cast<float>(addr.cab_y));
+  EXPECT_FLOAT_EQ(out[5], static_cast<float>(s.node));
+  EXPECT_GE(out[6], 0.0f);  // node hash in [0, 1)
+  EXPECT_LT(out[6], 1.0f);
+}
+
+TEST(FeatureExtractor, ForecastedRunStatsDifferButStayPlausible) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor measured(trace, {.mask = kFeatTpCur});
+  FeatureSpec spec{.mask = kFeatTpCur};
+  spec.forecast_current_run = true;
+  const FeatureExtractor forecasted(trace, spec);
+  ASSERT_EQ(measured.dim(), forecasted.dim());
+
+  std::vector<float> a(measured.dim()), b(forecasted.dim());
+  std::size_t checked = 0;
+  double abs_err = 0.0;
+  for (std::size_t i = 200; i < trace.samples.size() && checked < 50; ++i) {
+    const auto& s = trace.samples[i];
+    if (s.recent_len < 8) continue;
+    measured.extract(s, a);
+    forecasted.extract(s, b);
+    // Column 0 is the run-mean GPU temperature in both layouts.
+    abs_err += std::abs(a[0] - b[0]);
+    EXPECT_GT(b[0], 5.0f);
+    EXPECT_LT(b[0], 90.0f);
+    ++checked;
+  }
+  ASSERT_EQ(checked, 50u);
+  // Forecasts carry a systematic bias (the pre-run window cannot know the
+  // load is about to jump), but must stay in the thermal ballpark — the
+  // classifier only needs them informative and consistent, not unbiased.
+  EXPECT_LT(abs_err / 50.0, 15.0);
+  EXPECT_GT(abs_err / 50.0, 0.01);  // and they are not just copies
+}
+
+TEST(DescribeMask, NamedSets) {
+  EXPECT_EQ(describe_mask(kAllFeatures), "All");
+  EXPECT_EQ(describe_mask(kSetCur), "Cur");
+  EXPECT_EQ(describe_mask(kSetCurPrev), "CurPrev");
+  EXPECT_EQ(describe_mask(kSetCurNei), "CurNei");
+  EXPECT_EQ(describe_mask(kGroupHist), "Hist");
+  EXPECT_EQ(describe_mask(kGroupTp), "TP");
+  EXPECT_EQ(describe_mask(kGroupApp), "App");
+  EXPECT_NE(describe_mask(kFeatTpCur).find("mask("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::features

@@ -1,0 +1,164 @@
+#include "ml/gbdt.hpp"
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::ml {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix X(rows, cols);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      X.at(r, c) = static_cast<float>(rng.uniform(-10.0, 10.0));
+    }
+  }
+  return X;
+}
+
+TEST(FeatureBinner, CodesPartitionByEdges) {
+  Matrix X = random_matrix(5'000, 3, 1);
+  FeatureBinner binner;
+  binner.fit(X, 64);
+  for (std::size_t f = 0; f < 3; ++f) {
+    ASSERT_GE(binner.bins(f), 2u);
+    // Property: value <= upper_edge(c) iff code(value) <= c.
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+      const float v = static_cast<float>(rng.uniform(-12.0, 12.0));
+      const std::uint8_t c = binner.code(f, v);
+      if (c + 1u < binner.bins(f)) {
+        EXPECT_LE(v, binner.upper_edge(f, c));
+      }
+      if (c > 0) {
+        EXPECT_GT(v, binner.upper_edge(f, static_cast<std::uint8_t>(c - 1)));
+      }
+    }
+  }
+}
+
+TEST(FeatureBinner, ConstantFeatureGetsOneBin) {
+  Matrix X(100, 2, 5.0f);
+  FeatureBinner binner;
+  binner.fit(X, 64);
+  EXPECT_EQ(binner.bins(0), 1u);
+  EXPECT_EQ(binner.code(0, 5.0f), 0);
+  EXPECT_EQ(binner.code(0, -100.0f), 0);
+}
+
+TEST(FeatureBinner, TransformMatchesPerValueCodes) {
+  Matrix X = random_matrix(200, 2, 3);
+  FeatureBinner binner;
+  binner.fit(X, 32);
+  const auto codes = binner.transform(X);
+  ASSERT_EQ(codes.size(), 400u);
+  for (std::size_t r = 0; r < 200; ++r) {
+    for (std::size_t f = 0; f < 2; ++f) {
+      EXPECT_EQ(codes[r * 2 + f], binner.code(f, X.at(r, f)));
+    }
+  }
+}
+
+TEST(Gbdt, PerfectFitOnThresholdRule) {
+  // y = x0 > 1.5 — a single split suffices.
+  Dataset d;
+  d.X = random_matrix(2'000, 2, 4);
+  for (std::size_t i = 0; i < d.X.rows(); ++i) {
+    d.y.push_back(d.X.at(i, 0) > 1.5f ? 1 : 0);
+  }
+  GradientBoostedTrees::Params params;
+  params.trees = 20;
+  params.pos_weight = 1.0;
+  GradientBoostedTrees gbdt(params, 5);
+  gbdt.fit(d);
+  const auto pred = gbdt.predict_batch(d.X);
+  EXPECT_GT(evaluate(d.y, pred).accuracy, 0.99);
+}
+
+TEST(Gbdt, ImportanceConcentratesOnInformativeFeature) {
+  Dataset d;
+  d.X = random_matrix(3'000, 4, 6);
+  Rng rng(7);
+  for (std::size_t i = 0; i < d.X.rows(); ++i) {
+    const double p =
+        1.0 / (1.0 + std::exp(-1.5 * static_cast<double>(d.X.at(i, 2))));
+    d.y.push_back(rng.bernoulli(p) ? 1 : 0);
+  }
+  GradientBoostedTrees::Params params;
+  params.trees = 40;
+  params.pos_weight = 1.0;
+  GradientBoostedTrees gbdt(params, 8);
+  gbdt.fit(d);
+  const auto imp = gbdt.feature_importance();
+  ASSERT_EQ(imp.size(), 4u);
+  const double other = imp[0] + imp[1] + imp[3];
+  EXPECT_GT(imp[2], 5.0 * other);
+}
+
+TEST(Gbdt, TreeCountMatchesParams) {
+  Dataset d;
+  d.X = random_matrix(500, 2, 9);
+  for (std::size_t i = 0; i < 500; ++i) d.y.push_back(i % 3 == 0 ? 1 : 0);
+  GradientBoostedTrees::Params params;
+  params.trees = 13;
+  GradientBoostedTrees gbdt(params, 5);
+  gbdt.fit(d);
+  EXPECT_EQ(gbdt.tree_count(), 13u);
+}
+
+TEST(Gbdt, PureNodeProducesNoSplits) {
+  // All labels identical: trees should be single leaves near the prior.
+  Dataset d;
+  d.X = random_matrix(400, 3, 10);
+  d.y.assign(400, 1);
+  GradientBoostedTrees gbdt(GradientBoostedTrees::Params{.trees = 5}, 5);
+  gbdt.fit(d);
+  const float p = gbdt.predict_proba(d.X.row(0));
+  EXPECT_GT(p, 0.95f);
+  const auto imp = gbdt.feature_importance();
+  EXPECT_DOUBLE_EQ(imp[0] + imp[1] + imp[2], 0.0);
+}
+
+TEST(Gbdt, PosWeightShiftsOperatingPointTowardRecall) {
+  // Overlapping blobs with 10:1 imbalance: higher pos_weight must not
+  // reduce recall.
+  Dataset d;
+  d.X = Matrix(4'400, 1);
+  Rng rng(11);
+  for (std::size_t i = 0; i < 4'400; ++i) {
+    const bool pos = i < 400;
+    d.X.at(i, 0) = static_cast<float>(rng.normal(pos ? 1.0 : 0.0, 1.0));
+    d.y.push_back(pos ? 1 : 0);
+  }
+  auto recall_with = [&](double w) {
+    GradientBoostedTrees::Params params;
+    params.trees = 30;
+    params.pos_weight = w;
+    GradientBoostedTrees gbdt(params, 5);
+    gbdt.fit(d);
+    return evaluate(d.y, gbdt.predict_batch(d.X)).positive.recall;
+  };
+  EXPECT_GT(recall_with(8.0), recall_with(1.0) + 0.1);
+}
+
+TEST(Gbdt, SubsamplingStillLearns) {
+  Dataset d;
+  d.X = random_matrix(2'000, 2, 12);
+  for (std::size_t i = 0; i < d.X.rows(); ++i) {
+    d.y.push_back(d.X.at(i, 1) > 0.0f ? 1 : 0);
+  }
+  GradientBoostedTrees::Params params;
+  params.trees = 30;
+  params.subsample = 0.5;
+  params.pos_weight = 1.0;
+  GradientBoostedTrees gbdt(params, 5);
+  gbdt.fit(d);
+  EXPECT_GT(evaluate(d.y, gbdt.predict_batch(d.X)).accuracy, 0.97);
+}
+
+}  // namespace
+}  // namespace repro::ml

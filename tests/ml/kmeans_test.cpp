@@ -1,0 +1,102 @@
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace repro::ml {
+namespace {
+
+Matrix blobs(std::size_t per_blob, std::uint64_t seed) {
+  // Three well-separated 2-D blobs at (0,0), (10,0), (0,10).
+  Matrix X(per_blob * 3, 2);
+  Rng rng(seed);
+  const double cx[] = {0.0, 10.0, 0.0};
+  const double cy[] = {0.0, 0.0, 10.0};
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      X.at(b * per_blob + i, 0) = static_cast<float>(rng.normal(cx[b], 0.5));
+      X.at(b * per_blob + i, 1) = static_cast<float>(rng.normal(cy[b], 0.5));
+    }
+  }
+  return X;
+}
+
+TEST(KMeans, SeparatesObviousBlobs) {
+  const Matrix X = blobs(100, 1);
+  Rng rng(2);
+  const KMeansResult result = kmeans(X, {.clusters = 3}, rng);
+  // All members of one blob share a cluster.
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::uint32_t c = result.assignment[b * 100];
+    for (std::size_t i = 1; i < 100; ++i) {
+      EXPECT_EQ(result.assignment[b * 100 + i], c) << "blob " << b;
+    }
+  }
+  // The three blobs land in three distinct clusters.
+  std::set<std::uint32_t> used = {result.assignment[0], result.assignment[100],
+                                  result.assignment[200]};
+  EXPECT_EQ(used.size(), 3u);
+  EXPECT_LT(result.inertia, 300.0);  // ~2 * 0.25 per point
+  EXPECT_GE(result.iterations, 1u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const Matrix X = blobs(60, 3);
+  Rng rng1(4), rng2(4);
+  const double one = kmeans(X, {.clusters = 1}, rng1).inertia;
+  const double three = kmeans(X, {.clusters = 3}, rng2).inertia;
+  EXPECT_LT(three, one * 0.2);
+}
+
+TEST(KMeans, RequiresEnoughRows) {
+  Matrix X(2, 2, 1.0f);
+  Rng rng(5);
+  EXPECT_THROW(kmeans(X, {.clusters = 3}, rng), CheckError);
+}
+
+TEST(KMeansUndersample, ReachesRatioAndKeepsPositives) {
+  Dataset d;
+  d.X = blobs(200, 6);  // 600 rows; make last 60 positive
+  for (std::size_t i = 0; i < 600; ++i) d.y.push_back(i >= 540 ? 1 : 0);
+  Rng rng(7);
+  const Dataset u = undersample_majority_kmeans(d, 2.0, 4, rng);
+  EXPECT_EQ(u.positives(), 60u);
+  EXPECT_NEAR(static_cast<double>(u.negatives()), 120.0, 8.0);
+}
+
+TEST(KMeansUndersample, GenerousRatioKeepsEverything) {
+  Dataset d;
+  d.X = blobs(20, 8);
+  for (std::size_t i = 0; i < 60; ++i) d.y.push_back(i < 30 ? 1 : 0);
+  Rng rng(9);
+  const Dataset u = undersample_majority_kmeans(d, 5.0, 3, rng);
+  EXPECT_EQ(u.size(), 60u);
+}
+
+TEST(KMeansUndersample, PreservesClusterStructure) {
+  // Majority spans three blobs; after under-sampling every blob must
+  // still be represented (unlike worst-case random thinning of a corner).
+  Dataset d;
+  d.X = blobs(150, 10);           // 450 negatives across 3 blobs
+  Matrix pos_rows = blobs(10, 11);  // small positive set, anywhere
+  for (std::size_t r = 0; r < pos_rows.rows(); ++r) d.X.push_row(pos_rows.row(r));
+  d.y.assign(450, 0);
+  d.y.insert(d.y.end(), 30, 1);
+  Rng rng(12);
+  const Dataset u = undersample_majority_kmeans(d, 3.0, 3, rng);
+  std::size_t in_blob[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (u.y[i]) continue;
+    const float x = u.X.at(i, 0), y = u.X.at(i, 1);
+    if (x < 5.0f && y < 5.0f) ++in_blob[0];
+    if (x >= 5.0f) ++in_blob[1];
+    if (y >= 5.0f) ++in_blob[2];
+  }
+  EXPECT_GT(in_blob[0], 10u);
+  EXPECT_GT(in_blob[1], 10u);
+  EXPECT_GT(in_blob[2], 10u);
+}
+
+}  // namespace
+}  // namespace repro::ml

@@ -1,0 +1,187 @@
+// Randomized cross-checks: each test generates many random instances and
+// verifies an invariant against a naive reference implementation or an
+// algebraic identity. These complement the per-module unit tests with
+// broader input coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "faults/sbe_log.hpp"
+#include "ml/metrics.hpp"
+#include "telemetry/series.hpp"
+#include "topology/topology.hpp"
+
+namespace repro {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 7919 + 13};
+};
+
+TEST_P(PropertyTest, HistogramQuantileInvertsCdf) {
+  Histogram h(0.0, 100.0, 200);
+  const int n = 200 + GetParam() * 137;
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng_.uniform(5.0, 95.0);
+    h.add(x);
+    xs.push_back(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    // Histogram quantile within one bin width of the exact sample quantile.
+    EXPECT_NEAR(h.quantile(p), quantile_sorted(xs, p), 1.0) << "p=" << p;
+  }
+}
+
+TEST_P(PropertyTest, RunningStatsMergeIsAssociative) {
+  RunningStats a, b, c, all;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng_.normal(10.0, 5.0);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+    all.add(x);
+  }
+  // (a + b) + c  ==  a + (b + c)  == everything at once.
+  RunningStats ab = a;
+  ab.merge(b);
+  ab.merge(c);
+  RunningStats bc = b;
+  bc.merge(c);
+  RunningStats a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_NEAR(ab.mean(), a_bc.mean(), 1e-9);
+  EXPECT_NEAR(ab.variance(), a_bc.variance(), 1e-6);
+  EXPECT_NEAR(ab.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(ab.variance(), all.variance(), 1e-6);
+}
+
+TEST_P(PropertyTest, F1IsHarmonicMeanBound) {
+  // F1 lies between min and max of precision/recall for random confusion
+  // counts, and equals them when they are equal.
+  const auto tp = rng_.uniform_index(100) + 1;
+  const auto fp = rng_.uniform_index(100);
+  const auto fn = rng_.uniform_index(100);
+  const ml::PrMetrics m = ml::pr_metrics(tp, fp, fn);
+  EXPECT_GE(m.f1, std::min(m.precision, m.recall) - 1e-12);
+  EXPECT_LE(m.f1, std::max(m.precision, m.recall) + 1e-12);
+}
+
+TEST_P(PropertyTest, BestThresholdNeverLosesToAnyFixedOne) {
+  std::vector<std::uint8_t> truth;
+  std::vector<float> proba;
+  for (int i = 0; i < 400; ++i) {
+    const bool pos = rng_.bernoulli(0.15);
+    truth.push_back(pos ? 1 : 0);
+    proba.push_back(static_cast<float>(
+        std::clamp(rng_.normal(pos ? 0.55 : 0.45, 0.2), 0.0, 1.0)));
+  }
+  const float best = ml::best_f1_threshold(truth, proba);
+  const double best_f1 = ml::evaluate_proba(truth, proba, best).positive.f1;
+  for (const float thr : {0.1f, 0.3f, 0.5f, 0.7f, 0.9f}) {
+    EXPECT_GE(best_f1,
+              ml::evaluate_proba(truth, proba, thr).positive.f1 - 1e-12);
+  }
+}
+
+TEST_P(PropertyTest, RingSeriesAgreesWithVectorReference) {
+  const std::size_t capacity = 8 + GetParam() * 7 % 56;
+  telemetry::RingSeries ring(capacity);
+  std::vector<float> reference;
+  const int pushes = 100 + GetParam() * 31;
+  for (int i = 0; i < pushes; ++i) {
+    const float v = static_cast<float>(rng_.uniform(0.0, 100.0));
+    ring.push(v);
+    reference.push_back(v);
+  }
+  const std::size_t kept = std::min(capacity, reference.size());
+  ASSERT_EQ(ring.size(), kept);
+  for (std::size_t age = 0; age < kept; ++age) {
+    EXPECT_FLOAT_EQ(ring.at_age(age),
+                    reference[reference.size() - 1 - age]);
+  }
+}
+
+TEST_P(PropertyTest, SbeLogCountsMatchNaiveScan) {
+  faults::SbeLog log(16, 8);
+  struct Raw {
+    workload::AppId app;
+    topo::NodeId node;
+    Minute end;
+    std::uint32_t count;
+  };
+  std::vector<Raw> raws;
+  Minute t = 0;
+  const int events = 50 + GetParam() * 13;
+  for (int i = 0; i < events; ++i) {
+    t += static_cast<Minute>(rng_.uniform_index(200));
+    Raw r{static_cast<workload::AppId>(rng_.uniform_index(8)),
+          static_cast<topo::NodeId>(rng_.uniform_index(16)), t,
+          static_cast<std::uint32_t>(rng_.uniform_index(9) + 1)};
+    raws.push_back(r);
+    log.add({.run = i, .app = r.app, .node = r.node, .start = r.end - 10,
+             .end = r.end, .count = r.count});
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    const Minute lo = static_cast<Minute>(rng_.uniform_index(
+        static_cast<std::uint64_t>(t + 100)));
+    const Minute hi =
+        lo + static_cast<Minute>(rng_.uniform_index(2000));
+    const auto node = static_cast<topo::NodeId>(rng_.uniform_index(16));
+    const auto app = static_cast<workload::AppId>(rng_.uniform_index(8));
+    std::uint64_t node_ref = 0, app_ref = 0, global_ref = 0, pair_ref = 0;
+    for (const Raw& r : raws) {
+      if (r.end < lo || r.end >= hi) continue;
+      global_ref += r.count;
+      if (r.node == node) node_ref += r.count;
+      if (r.app == app) app_ref += r.count;
+      if (r.node == node && r.app == app) pair_ref += r.count;
+    }
+    EXPECT_EQ(log.node_count_between(node, lo, hi), node_ref);
+    EXPECT_EQ(log.app_count_between(app, lo, hi), app_ref);
+    EXPECT_EQ(log.global_count_between(lo, hi), global_ref);
+    EXPECT_EQ(log.app_node_count_between(app, node, lo, hi), pair_ref);
+  }
+}
+
+TEST_P(PropertyTest, SpearmanIsBoundedAndSymmetric) {
+  std::vector<double> xs(60), ys(60);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng_.normal();
+    ys[i] = rng_.normal() + 0.5 * xs[i];
+  }
+  const double rxy = spearman(xs, ys);
+  const double ryx = spearman(ys, xs);
+  EXPECT_NEAR(rxy, ryx, 1e-12);
+  EXPECT_GE(rxy, -1.0 - 1e-12);
+  EXPECT_LE(rxy, 1.0 + 1e-12);
+}
+
+TEST_P(PropertyTest, TopologyNeighborRelationIsSymmetric) {
+  const topo::SystemConfig cfg{
+      .grid_x = 2 + GetParam() % 4,
+      .grid_y = 1 + GetParam() % 3,
+      .cages_per_cabinet = 1 + GetParam() % 2,
+      .slots_per_cage = 2,
+      .nodes_per_slot = 2 + GetParam() % 3};
+  const topo::Topology topology(cfg);
+  for (int probe = 0; probe < 20; ++probe) {
+    const auto id = static_cast<topo::NodeId>(
+        rng_.uniform_index(static_cast<std::uint64_t>(topology.total_nodes())));
+    for (const auto peer : topology.slot_neighbors(id)) {
+      const auto back = topology.slot_neighbors(peer);
+      EXPECT_NE(std::find(back.begin(), back.end(), id), back.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace repro

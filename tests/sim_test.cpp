@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+#include "sim/trace_io.hpp"
+#include "support/test_trace.hpp"
+
+namespace repro::sim {
+namespace {
+
+using repro::testing::shared_tiny_trace;
+
+TEST(Simulator, SamplesSatisfyBasicInvariants) {
+  const Trace& trace = shared_tiny_trace();
+  ASSERT_GT(trace.samples.size(), 100u);
+  for (const RunNodeSample& s : trace.samples) {
+    EXPECT_GE(s.node, 0);
+    EXPECT_LT(s.node, trace.total_nodes());
+    EXPECT_GE(s.app, 0);
+    EXPECT_LT(s.start, s.end);
+    EXPECT_LE(s.end, trace.duration);
+    EXPECT_FLOAT_EQ(s.runtime_min, static_cast<float>(s.end - s.start));
+    EXPECT_GE(s.num_nodes, 1.0f);
+    EXPECT_GT(s.gpu_core_hours, 0.0f);
+    EXPECT_GT(s.total_mem_gb, 0.0f);
+    EXPECT_GE(s.expected_sbe, 0.0f);
+    // Run statistics cover the run's minutes.
+    EXPECT_GT(s.run_gpu_temp.mean, 10.0f);
+    EXPECT_LT(s.run_gpu_temp.mean, 80.0f);
+    EXPECT_GT(s.run_gpu_power.mean, 0.0f);
+    EXPECT_GT(s.run_cpu_temp.mean, 10.0f);
+  }
+}
+
+TEST(Simulator, SamplesOrderedByEndMinute) {
+  const Trace& trace = shared_tiny_trace();
+  for (std::size_t i = 1; i < trace.samples.size(); ++i) {
+    EXPECT_LE(trace.samples[i - 1].end, trace.samples[i].end);
+  }
+}
+
+TEST(Simulator, SbeLogAgreesWithSamples) {
+  const Trace& trace = shared_tiny_trace();
+  std::uint64_t total_from_samples = 0;
+  std::size_t positives = 0;
+  for (const RunNodeSample& s : trace.samples) {
+    total_from_samples += s.sbe_count;
+    positives += s.sbe_affected() ? 1 : 0;
+  }
+  EXPECT_EQ(trace.sbe_log.global_count_between(0, trace.duration + 1),
+            total_from_samples);
+  EXPECT_EQ(trace.sbe_log.events().size(), positives);
+}
+
+TEST(Simulator, PositiveRateInCalibratedRange) {
+  const Trace& trace = shared_tiny_trace();
+  EXPECT_GT(trace.positive_rate(), 0.004);
+  EXPECT_LT(trace.positive_rate(), 0.12);
+}
+
+TEST(Simulator, CumulativeTelemetryCoversWholeTrace) {
+  const Trace& trace = shared_tiny_trace();
+  for (const NodeCumulative& cum : trace.cumulative) {
+    EXPECT_EQ(cum.gpu_temp.count(),
+              static_cast<std::size_t>(trace.duration));
+    EXPECT_EQ(cum.gpu_power.count(),
+              static_cast<std::size_t>(trace.duration));
+    EXPECT_GT(cum.gpu_temp.mean(), 15.0);
+    EXPECT_LT(cum.gpu_temp.mean(), 60.0);
+  }
+}
+
+TEST(Simulator, PeriodHistogramsCoverEveryNodeMinute) {
+  const Trace& trace = shared_tiny_trace();
+  // Every node-minute of the trace lands in exactly one of the two
+  // temperature histograms: idle and error-free busy minutes in temp_free,
+  // minutes of SBE-affected runs in temp_affected.
+  std::uint64_t binned = 0, affected = 0;
+  for (const NodePeriodHists& h : trace.period_hists) {
+    binned += h.temp_free.total() + h.temp_affected.total();
+    affected += h.temp_affected.total();
+  }
+  const auto node_minutes = static_cast<std::uint64_t>(trace.duration) *
+                            static_cast<std::uint64_t>(trace.total_nodes());
+  // Runs still in flight when the trace ends never flush their minutes
+  // (they produce no samples either), so allow that small gap.
+  EXPECT_LE(binned, node_minutes);
+  EXPECT_GT(static_cast<double>(binned),
+            0.97 * static_cast<double>(node_minutes));
+  std::uint64_t affected_minutes = 0;
+  for (const RunNodeSample& s : trace.samples) {
+    if (s.sbe_affected()) {
+      affected_minutes += static_cast<std::uint64_t>(s.end - s.start);
+    }
+  }
+  EXPECT_EQ(affected, affected_minutes);
+}
+
+TEST(Simulator, PrevAppTracksNodeHistory) {
+  const Trace& trace = shared_tiny_trace();
+  // Replay per-node app sequences ordered by START time and compare with
+  // the recorded prev_app. (Samples are stored in end order.)
+  std::vector<std::size_t> order(trace.samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return trace.samples[a].start < trace.samples[b].start;
+                   });
+  std::unordered_map<topo::NodeId, workload::AppId> last;
+  for (const std::size_t i : order) {
+    const RunNodeSample& s = trace.samples[i];
+    const auto it = last.find(s.node);
+    EXPECT_EQ(s.prev_app, it == last.end() ? -1 : it->second)
+        << "node " << s.node << " run " << s.run;
+    last[s.node] = s.app;
+  }
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  SimConfig cfg = SimConfig::testing(/*test_days=*/6, /*test_seed=*/33);
+  const Trace a = simulate(cfg);
+  const Trace b = simulate(cfg);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].run, b.samples[i].run);
+    EXPECT_EQ(a.samples[i].node, b.samples[i].node);
+    EXPECT_EQ(a.samples[i].sbe_count, b.samples[i].sbe_count);
+    EXPECT_FLOAT_EQ(a.samples[i].run_gpu_temp.mean,
+                    b.samples[i].run_gpu_temp.mean);
+  }
+  EXPECT_EQ(a.sbe_log.events().size(), b.sbe_log.events().size());
+}
+
+TEST(Simulator, DifferentSeedsProduceDifferentTraces) {
+  SimConfig cfg = SimConfig::testing(6, 1);
+  const Trace a = simulate(cfg);
+  cfg.seed = 2;
+  const Trace b = simulate(cfg);
+  EXPECT_NE(a.samples.size(), b.samples.size());
+}
+
+TEST(Simulator, ProbesRecordFullResolutionSeries) {
+  SimConfig cfg = SimConfig::testing(3, 5);
+  cfg.probe_nodes = {0, 7};
+  const Trace trace = simulate(cfg);
+  ASSERT_EQ(trace.probes.size(), 2u);
+  for (const ProbeSeries& p : trace.probes) {
+    EXPECT_EQ(p.gpu_temp.size(), static_cast<std::size_t>(trace.duration));
+    EXPECT_EQ(p.gpu_power.size(), static_cast<std::size_t>(trace.duration));
+    EXPECT_EQ(p.cpu_temp.size(), static_cast<std::size_t>(trace.duration));
+    EXPECT_EQ(p.slot_avg_temp.size(),
+              static_cast<std::size_t>(trace.duration));
+    EXPECT_EQ(p.cage_avg_temp.size(),
+              static_cast<std::size_t>(trace.duration));
+  }
+  EXPECT_THROW(
+      [] {
+        SimConfig bad = SimConfig::testing(2, 5);
+        bad.probe_nodes = {10'000};
+        return Simulator(bad);
+      }(),
+      CheckError);
+}
+
+TEST(Simulator, ExpectedSbeTracksLabels) {
+  const Trace& trace = shared_tiny_trace();
+  // Mean expected count among positives should exceed that among negatives
+  // by a wide margin (the generative signal the ML stage learns).
+  double pos_sum = 0.0, neg_sum = 0.0;
+  std::size_t pos_n = 0, neg_n = 0;
+  for (const RunNodeSample& s : trace.samples) {
+    if (s.sbe_affected()) {
+      pos_sum += s.expected_sbe;
+      ++pos_n;
+    } else {
+      neg_sum += s.expected_sbe;
+      ++neg_n;
+    }
+  }
+  ASSERT_GT(pos_n, 0u);
+  ASSERT_GT(neg_n, 0u);
+  EXPECT_GT(pos_sum / pos_n, 10.0 * (neg_sum / neg_n));
+}
+
+TEST(Simulator, IncrementalStepMatchesBatch) {
+  SimConfig cfg = SimConfig::testing(2, 9);
+  Simulator inc(cfg);
+  inc.run_for(cfg.days * kMinutesPerDay);
+  const Trace batch = simulate(cfg);
+  const Trace from_inc = std::move(inc).take_trace();
+  ASSERT_EQ(from_inc.samples.size(), batch.samples.size());
+  EXPECT_EQ(from_inc.sbe_log.events().size(), batch.sbe_log.events().size());
+}
+
+TEST(TraceIo, RoundTripsThroughCache) {
+  SimConfig cfg = SimConfig::testing(3, 77);
+  cfg.probe_nodes = {2};
+  const Trace original = simulate(cfg);
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.bin";
+  save_trace(original, cfg, path);
+  auto loaded = load_trace(cfg, path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->samples.size(), original.samples.size());
+  for (std::size_t i = 0; i < original.samples.size(); ++i) {
+    EXPECT_EQ(loaded->samples[i].run, original.samples[i].run);
+    EXPECT_EQ(loaded->samples[i].sbe_count, original.samples[i].sbe_count);
+    EXPECT_FLOAT_EQ(loaded->samples[i].run_gpu_temp.mean,
+                    original.samples[i].run_gpu_temp.mean);
+  }
+  EXPECT_EQ(loaded->sbe_log.events().size(), original.sbe_log.events().size());
+  EXPECT_EQ(loaded->duration, original.duration);
+  EXPECT_EQ(loaded->catalog.size(), original.catalog.size());
+  ASSERT_EQ(loaded->probes.size(), 1u);
+  EXPECT_EQ(loaded->probes[0].gpu_temp.size(),
+            original.probes[0].gpu_temp.size());
+  for (std::size_t n = 0; n < original.cumulative.size(); ++n) {
+    EXPECT_DOUBLE_EQ(loaded->cumulative[n].gpu_temp.mean(),
+                     original.cumulative[n].gpu_temp.mean());
+    EXPECT_EQ(loaded->period_hists[n].temp_free.total(),
+              original.period_hists[n].temp_free.total());
+  }
+}
+
+TEST(TraceIo, RejectsMismatchedConfig) {
+  SimConfig cfg = SimConfig::testing(2, 5);
+  const Trace trace = simulate(cfg);
+  const std::string path = ::testing::TempDir() + "trace_mismatch.bin";
+  save_trace(trace, cfg, path);
+  SimConfig other = cfg;
+  other.faults.base_rate_per_min *= 2.0;
+  EXPECT_FALSE(load_trace(other, path).has_value());
+  EXPECT_FALSE(load_trace(cfg, path + ".does-not-exist").has_value());
+  EXPECT_NE(config_fingerprint(cfg), config_fingerprint(other));
+}
+
+TEST(TraceIo, CachedSimulateHitsCache) {
+  SimConfig cfg = SimConfig::testing(2, 91);
+  const std::string dir = ::testing::TempDir() + "trace_cache";
+  const Trace first = cached_simulate(cfg, dir);
+  const Trace second = cached_simulate(cfg, dir);  // served from disk
+  EXPECT_EQ(first.samples.size(), second.samples.size());
+  EXPECT_EQ(first.sbe_log.events().size(), second.sbe_log.events().size());
+}
+
+}  // namespace
+}  // namespace repro::sim

@@ -1,0 +1,45 @@
+// Shared fixtures: simulated traces are the expensive part of integration
+// tests, so each test binary builds them lazily and at most once.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace repro::testing {
+
+/// Tiny machine (64 nodes), 30 days, fixed seed. ~1-2 s to build.
+inline const sim::Trace& shared_tiny_trace() {
+  static const sim::Trace trace = [] {
+    sim::SimConfig cfg = sim::SimConfig::testing(/*test_days=*/30,
+                                                 /*test_seed=*/11);
+    // A tiny machine needs denser faults for tests to see enough
+    // positives; this mirrors the scaled-Titan calibration.
+    cfg.faults.node_offender_fraction = 0.15;
+    cfg.faults.base_rate_per_min = 2.0e-3;
+    return sim::simulate(cfg);
+  }();
+  return trace;
+}
+
+/// Small scaled-Titan trace for core-pipeline tests (a few seconds).
+inline const sim::Trace& shared_pipeline_trace() {
+  static const sim::Trace trace = [] {
+    sim::SimConfig cfg;
+    cfg.system = {.grid_x = 8, .grid_y = 4, .cages_per_cabinet = 1,
+                  .slots_per_cage = 2, .nodes_per_slot = 4};
+    cfg.days = 40;
+    cfg.seed = 21;
+    cfg.catalog.num_apps = 120;
+    cfg.scheduler.jobs_per_hour = 8.0;
+    cfg.faults.node_offender_fraction = 0.10;
+    // Small machines see few SBEs; raise the base rate so offender density
+    // matches the calibrated full-scale configuration.
+    cfg.faults.base_rate_per_min = 3.0e-4;
+    // Keep the cabinet cooling lottery quiet so the hot-corner structure
+    // is visible on this small 8x4 floor grid.
+    cfg.thermal.cabinet_cooling_std_c = 0.4;
+    return sim::simulate(cfg);
+  }();
+  return trace;
+}
+
+}  // namespace repro::testing
