@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_forecast.cpp" "bench_build/CMakeFiles/bench_ablation_forecast.dir/bench_ablation_forecast.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablation_forecast.dir/bench_ablation_forecast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

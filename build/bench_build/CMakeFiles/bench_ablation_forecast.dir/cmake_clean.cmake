@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_forecast"
+  "../bench/bench_ablation_forecast.pdb"
+  "CMakeFiles/bench_ablation_forecast.dir/bench_ablation_forecast.cpp.o"
+  "CMakeFiles/bench_ablation_forecast.dir/bench_ablation_forecast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gbdt"
+  "../bench/bench_ablation_gbdt.pdb"
+  "CMakeFiles/bench_ablation_gbdt.dir/bench_ablation_gbdt.cpp.o"
+  "CMakeFiles/bench_ablation_gbdt.dir/bench_ablation_gbdt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

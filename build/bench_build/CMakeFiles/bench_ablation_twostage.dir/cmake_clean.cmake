@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_twostage"
+  "../bench/bench_ablation_twostage.pdb"
+  "CMakeFiles/bench_ablation_twostage.dir/bench_ablation_twostage.cpp.o"
+  "CMakeFiles/bench_ablation_twostage.dir/bench_ablation_twostage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_twostage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

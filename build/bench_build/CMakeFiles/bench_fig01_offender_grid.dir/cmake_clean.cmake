@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_offender_grid"
+  "../bench/bench_fig01_offender_grid.pdb"
+  "CMakeFiles/bench_fig01_offender_grid.dir/bench_fig01_offender_grid.cpp.o"
+  "CMakeFiles/bench_fig01_offender_grid.dir/bench_fig01_offender_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_offender_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

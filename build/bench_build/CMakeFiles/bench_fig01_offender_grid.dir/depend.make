@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01_offender_grid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_affected_apruns_grid"
+  "../bench/bench_fig02_affected_apruns_grid.pdb"
+  "CMakeFiles/bench_fig02_affected_apruns_grid.dir/bench_fig02_affected_apruns_grid.cpp.o"
+  "CMakeFiles/bench_fig02_affected_apruns_grid.dir/bench_fig02_affected_apruns_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_affected_apruns_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

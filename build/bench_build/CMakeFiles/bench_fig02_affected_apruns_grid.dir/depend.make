@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_affected_apruns_grid.
+# This may be replaced when dependencies are built.

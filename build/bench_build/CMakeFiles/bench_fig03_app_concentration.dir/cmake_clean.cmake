@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_app_concentration"
+  "../bench/bench_fig03_app_concentration.pdb"
+  "CMakeFiles/bench_fig03_app_concentration.dir/bench_fig03_app_concentration.cpp.o"
+  "CMakeFiles/bench_fig03_app_concentration.dir/bench_fig03_app_concentration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_app_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

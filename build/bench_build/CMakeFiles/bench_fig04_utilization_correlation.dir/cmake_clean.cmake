@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_utilization_correlation"
+  "../bench/bench_fig04_utilization_correlation.pdb"
+  "CMakeFiles/bench_fig04_utilization_correlation.dir/bench_fig04_utilization_correlation.cpp.o"
+  "CMakeFiles/bench_fig04_utilization_correlation.dir/bench_fig04_utilization_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_utilization_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

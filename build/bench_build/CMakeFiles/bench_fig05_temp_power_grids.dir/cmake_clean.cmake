@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_temp_power_grids"
+  "../bench/bench_fig05_temp_power_grids.pdb"
+  "CMakeFiles/bench_fig05_temp_power_grids.dir/bench_fig05_temp_power_grids.cpp.o"
+  "CMakeFiles/bench_fig05_temp_power_grids.dir/bench_fig05_temp_power_grids.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_temp_power_grids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_temp_periods"
+  "../bench/bench_fig06_temp_periods.pdb"
+  "CMakeFiles/bench_fig06_temp_periods.dir/bench_fig06_temp_periods.cpp.o"
+  "CMakeFiles/bench_fig06_temp_periods.dir/bench_fig06_temp_periods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_temp_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

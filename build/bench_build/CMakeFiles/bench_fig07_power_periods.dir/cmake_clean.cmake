@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_power_periods"
+  "../bench/bench_fig07_power_periods.pdb"
+  "CMakeFiles/bench_fig07_power_periods.dir/bench_fig07_power_periods.cpp.o"
+  "CMakeFiles/bench_fig07_power_periods.dir/bench_fig07_power_periods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_power_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

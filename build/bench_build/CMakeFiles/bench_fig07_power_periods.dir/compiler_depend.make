@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_power_periods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_power_periods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_profile_variability"
+  "../bench/bench_fig08_profile_variability.pdb"
+  "CMakeFiles/bench_fig08_profile_variability.dir/bench_fig08_profile_variability.cpp.o"
+  "CMakeFiles/bench_fig08_profile_variability.dir/bench_fig08_profile_variability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_profile_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_feature_groups"
+  "../bench/bench_fig11_feature_groups.pdb"
+  "CMakeFiles/bench_fig11_feature_groups.dir/bench_fig11_feature_groups.cpp.o"
+  "CMakeFiles/bench_fig11_feature_groups.dir/bench_fig11_feature_groups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_feature_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_spatial_robustness"
+  "../bench/bench_fig13_spatial_robustness.pdb"
+  "CMakeFiles/bench_fig13_spatial_robustness.dir/bench_fig13_spatial_robustness.cpp.o"
+  "CMakeFiles/bench_fig13_spatial_robustness.dir/bench_fig13_spatial_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_spatial_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

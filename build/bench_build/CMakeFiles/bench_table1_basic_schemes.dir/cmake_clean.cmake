@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_basic_schemes"
+  "../bench/bench_table1_basic_schemes.pdb"
+  "CMakeFiles/bench_table1_basic_schemes.dir/bench_table1_basic_schemes.cpp.o"
+  "CMakeFiles/bench_table1_basic_schemes.dir/bench_table1_basic_schemes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_basic_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

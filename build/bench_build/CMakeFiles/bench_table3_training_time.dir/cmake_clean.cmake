@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_training_time"
+  "../bench/bench_table3_training_time.pdb"
+  "CMakeFiles/bench_table3_training_time.dir/bench_table3_training_time.cpp.o"
+  "CMakeFiles/bench_table3_training_time.dir/bench_table3_training_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

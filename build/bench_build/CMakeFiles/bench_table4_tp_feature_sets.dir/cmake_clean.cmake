@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_tp_feature_sets"
+  "../bench/bench_table4_tp_feature_sets.pdb"
+  "CMakeFiles/bench_table4_tp_feature_sets.dir/bench_table4_tp_feature_sets.cpp.o"
+  "CMakeFiles/bench_table4_tp_feature_sets.dir/bench_table4_tp_feature_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tp_feature_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_severity_effect"
+  "../bench/bench_table6_severity_effect.pdb"
+  "CMakeFiles/bench_table6_severity_effect.dir/bench_table6_severity_effect.cpp.o"
+  "CMakeFiles/bench_table6_severity_effect.dir/bench_table6_severity_effect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_severity_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_advisor.dir/ecc_advisor.cpp.o"
+  "CMakeFiles/ecc_advisor.dir/ecc_advisor.cpp.o.d"
+  "ecc_advisor"
+  "ecc_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_analysis.dir/analysis/characterization.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/characterization.cpp.o.d"
+  "librepro_analysis.a"
+  "librepro_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_common.dir/common/csv.cpp.o"
+  "CMakeFiles/repro_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/repro_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/repro_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/repro_common.dir/common/rng.cpp.o"
+  "CMakeFiles/repro_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/repro_common.dir/common/stats.cpp.o"
+  "CMakeFiles/repro_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/repro_common.dir/common/table.cpp.o"
+  "CMakeFiles/repro_common.dir/common/table.cpp.o.d"
+  "librepro_common.a"
+  "librepro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/repro_core.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/ecc_advisor.cpp" "src/CMakeFiles/repro_core.dir/core/ecc_advisor.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/ecc_advisor.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/CMakeFiles/repro_core.dir/core/evaluation.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/evaluation.cpp.o.d"
+  "/root/repo/src/core/retraining.cpp" "src/CMakeFiles/repro_core.dir/core/retraining.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/retraining.cpp.o.d"
+  "/root/repo/src/core/sample_index.cpp" "src/CMakeFiles/repro_core.dir/core/sample_index.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/sample_index.cpp.o.d"
+  "/root/repo/src/core/splits.cpp" "src/CMakeFiles/repro_core.dir/core/splits.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/splits.cpp.o.d"
+  "/root/repo/src/core/two_stage.cpp" "src/CMakeFiles/repro_core.dir/core/two_stage.cpp.o" "gcc" "src/CMakeFiles/repro_core.dir/core/two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

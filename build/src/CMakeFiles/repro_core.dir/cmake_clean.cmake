@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/core/baselines.cpp.o"
+  "CMakeFiles/repro_core.dir/core/baselines.cpp.o.d"
+  "CMakeFiles/repro_core.dir/core/ecc_advisor.cpp.o"
+  "CMakeFiles/repro_core.dir/core/ecc_advisor.cpp.o.d"
+  "CMakeFiles/repro_core.dir/core/evaluation.cpp.o"
+  "CMakeFiles/repro_core.dir/core/evaluation.cpp.o.d"
+  "CMakeFiles/repro_core.dir/core/retraining.cpp.o"
+  "CMakeFiles/repro_core.dir/core/retraining.cpp.o.d"
+  "CMakeFiles/repro_core.dir/core/sample_index.cpp.o"
+  "CMakeFiles/repro_core.dir/core/sample_index.cpp.o.d"
+  "CMakeFiles/repro_core.dir/core/splits.cpp.o"
+  "CMakeFiles/repro_core.dir/core/splits.cpp.o.d"
+  "CMakeFiles/repro_core.dir/core/two_stage.cpp.o"
+  "CMakeFiles/repro_core.dir/core/two_stage.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_faults.dir/faults/sbe_log.cpp.o"
+  "CMakeFiles/repro_faults.dir/faults/sbe_log.cpp.o.d"
+  "CMakeFiles/repro_faults.dir/faults/sbe_model.cpp.o"
+  "CMakeFiles/repro_faults.dir/faults/sbe_model.cpp.o.d"
+  "librepro_faults.a"
+  "librepro_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

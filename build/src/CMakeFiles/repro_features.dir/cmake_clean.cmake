@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_features.dir/features/features.cpp.o"
+  "CMakeFiles/repro_features.dir/features/features.cpp.o.d"
+  "librepro_features.a"
+  "librepro_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

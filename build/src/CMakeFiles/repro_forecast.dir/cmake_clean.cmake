@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_forecast.dir/forecast/forecast.cpp.o"
+  "CMakeFiles/repro_forecast.dir/forecast/forecast.cpp.o.d"
+  "librepro_forecast.a"
+  "librepro_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/repro_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/CMakeFiles/repro_ml.dir/ml/gbdt.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/gbdt.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/repro_ml.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/CMakeFiles/repro_ml.dir/ml/logistic_regression.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/repro_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/CMakeFiles/repro_ml.dir/ml/model.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/model.cpp.o.d"
+  "/root/repo/src/ml/neural_network.cpp" "src/CMakeFiles/repro_ml.dir/ml/neural_network.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/neural_network.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/CMakeFiles/repro_ml.dir/ml/svm.cpp.o" "gcc" "src/CMakeFiles/repro_ml.dir/ml/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/ml/gbdt.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/gbdt.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/ml/kmeans.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/kmeans.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/ml/logistic_regression.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/logistic_regression.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/ml/model.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/model.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/ml/neural_network.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/neural_network.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/ml/svm.cpp.o"
+  "CMakeFiles/repro_ml.dir/ml/svm.cpp.o.d"
+  "librepro_ml.a"
+  "librepro_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

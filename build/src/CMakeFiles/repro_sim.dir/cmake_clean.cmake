@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/repro_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/repro_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/sim/trace_io.cpp.o"
+  "CMakeFiles/repro_sim.dir/sim/trace_io.cpp.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim_export.dir/sim/export.cpp.o"
+  "CMakeFiles/repro_sim_export.dir/sim/export.cpp.o.d"
+  "librepro_sim_export.a"
+  "librepro_sim_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

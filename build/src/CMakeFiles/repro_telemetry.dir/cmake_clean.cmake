@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_telemetry.dir/telemetry/series.cpp.o"
+  "CMakeFiles/repro_telemetry.dir/telemetry/series.cpp.o.d"
+  "CMakeFiles/repro_telemetry.dir/telemetry/store.cpp.o"
+  "CMakeFiles/repro_telemetry.dir/telemetry/store.cpp.o.d"
+  "CMakeFiles/repro_telemetry.dir/telemetry/thermal_model.cpp.o"
+  "CMakeFiles/repro_telemetry.dir/telemetry/thermal_model.cpp.o.d"
+  "librepro_telemetry.a"
+  "librepro_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

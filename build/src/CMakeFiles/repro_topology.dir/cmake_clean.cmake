@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_topology.dir/topology/topology.cpp.o"
+  "CMakeFiles/repro_topology.dir/topology/topology.cpp.o.d"
+  "librepro_topology.a"
+  "librepro_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

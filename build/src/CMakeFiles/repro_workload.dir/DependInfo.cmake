@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/application.cpp" "src/CMakeFiles/repro_workload.dir/workload/application.cpp.o" "gcc" "src/CMakeFiles/repro_workload.dir/workload/application.cpp.o.d"
+  "/root/repo/src/workload/scheduler.cpp" "src/CMakeFiles/repro_workload.dir/workload/scheduler.cpp.o" "gcc" "src/CMakeFiles/repro_workload.dir/workload/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_workload.dir/workload/application.cpp.o"
+  "CMakeFiles/repro_workload.dir/workload/application.cpp.o.d"
+  "CMakeFiles/repro_workload.dir/workload/scheduler.cpp.o"
+  "CMakeFiles/repro_workload.dir/workload/scheduler.cpp.o.d"
+  "librepro_workload.a"
+  "librepro_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

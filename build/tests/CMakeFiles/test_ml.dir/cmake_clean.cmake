@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/gbdt_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/gbdt_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/kmeans_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/kmeans_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/models_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/models_test.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_topology "/root/repo/build/tests/test_topology")
+set_tests_properties(test_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_telemetry "/root/repo/build/tests/test_telemetry")
+set_tests_properties(test_telemetry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_faults "/root/repo/build/tests/test_faults")
+set_tests_properties(test_faults PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_export "/root/repo/build/tests/test_export")
+set_tests_properties(test_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ml "/root/repo/build/tests/test_ml")
+set_tests_properties(test_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_features "/root/repo/build/tests/test_features")
+set_tests_properties(test_features PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;32;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_forecast "/root/repo/build/tests/test_forecast")
+set_tests_properties(test_forecast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;33;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;34;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;35;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_property "/root/repo/build/tests/test_property")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;36;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
