@@ -11,19 +11,26 @@ int main() {
                 "GBDT best on every dataset (paper .81/.81/.71); DS3 hardest "
                 "for all models");
   const sim::Trace& trace = bench::paper_trace();
+  const auto splits = bench::paper_splits();
+  const std::vector<ml::ModelKind> models = {
+      ml::ModelKind::kLogisticRegression, ml::ModelKind::kGbdt,
+      ml::ModelKind::kSvm, ml::ModelKind::kNeuralNetwork};
+
+  // All 12 split x model cells fan out across the thread pool at once;
+  // cell results are deterministic and ordered split-major.
+  const auto grid = bench::run_two_stage_grid(trace, splits, models);
 
   TextTable t({"Dataset", "Basic A", "LR", "GBDT", "SVM", "NN"});
-  for (const auto& split : bench::paper_splits()) {
+  for (std::size_t s = 0; s < splits.size(); ++s) {
+    const auto& split = splits[s];
     const auto idx = core::samples_in(trace, split.test);
     core::BasicScheme basic_a(core::BasicKind::kBasicA);
     basic_a.train(trace, split.train);
     const auto mb =
         core::evaluate_predictions(trace, idx, basic_a.predict(trace, idx));
     std::vector<double> row = {mb.positive.f1};
-    for (const auto kind :
-         {ml::ModelKind::kLogisticRegression, ml::ModelKind::kGbdt,
-          ml::ModelKind::kSvm, ml::ModelKind::kNeuralNetwork}) {
-      row.push_back(bench::run_two_stage(trace, split, kind).positive.f1);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      row.push_back(grid[s * models.size() + m].metrics.positive.f1);
     }
     t.add_row(split.name, row);
     std::printf("%s done\n", split.name.c_str());

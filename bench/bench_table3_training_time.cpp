@@ -4,6 +4,7 @@
 // we reproduce the ordering, not the absolute wall-clock.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "support/bench_common.hpp"
 
 namespace {
@@ -22,6 +23,9 @@ void fit_model(benchmark::State& state, ml::ModelKind kind) {
     state.counters["stage2_samples"] =
         static_cast<double>(predictor.stage2_training_size());
     state.counters["fit_seconds"] = predictor.train_seconds();
+    // Thread count the deterministic parallel layer ran with (REPRO_THREADS
+    // or hardware concurrency); results are identical across values.
+    state.counters["threads"] = static_cast<double>(parallel_threads());
   }
 }
 

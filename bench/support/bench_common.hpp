@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/evaluation.hpp"
 #include "core/sample_index.hpp"
 #include "core/splits.hpp"
 #include "core/two_stage.hpp"
@@ -55,6 +56,18 @@ inline void banner(const char* experiment, const char* title,
       "================================================================\n",
       experiment, title, paper_expectation,
       static_cast<long long>(kPaperDays));
+}
+
+/// Trains and evaluates TwoStage for every (paper split, model) pair in
+/// one parallel fan-out (cells are independent; see core::two_stage_sweep).
+/// Result is split-major in the order of `models`.
+inline std::vector<core::SweepCell> run_two_stage_grid(
+    const sim::Trace& trace, std::span<const core::SplitSpec> splits,
+    std::span<const ml::ModelKind> models,
+    features::FeatureMask mask = features::kAllFeatures) {
+  core::TwoStageConfig base;
+  base.features.mask = mask;
+  return core::two_stage_sweep(trace, splits, models, base);
 }
 
 /// Trains TwoStage with the given model/features on a split and evaluates

@@ -2,10 +2,36 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "topology/topology.hpp"
 
 namespace repro::core {
+
+std::vector<SweepCell> two_stage_sweep(const sim::Trace& trace,
+                                       std::span<const SplitSpec> splits,
+                                       std::span<const ml::ModelKind> models,
+                                       const TwoStageConfig& base) {
+  const std::size_t cells = splits.size() * models.size();
+  std::vector<SweepCell> out(cells);
+  // Each cell trains and evaluates an independent predictor; cells only
+  // write their own slot, so fanning them out cannot change any result.
+  parallel_for(cells, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      SweepCell& cell = out[c];
+      cell.split = c / models.size();
+      cell.model = models[c % models.size()];
+      TwoStageConfig config = base;
+      config.model = cell.model;
+      TwoStagePredictor predictor(config);
+      predictor.train(trace, splits[cell.split].train);
+      cell.metrics = predictor.evaluate(trace, splits[cell.split].test);
+      cell.train_seconds = predictor.train_seconds();
+      cell.stage2_size = predictor.stage2_training_size();
+    }
+  });
+  return out;
+}
 
 std::vector<double> CabinetCounts::differences() const {
   std::vector<double> out(ground_truth.size());

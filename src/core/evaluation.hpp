@@ -9,9 +9,29 @@
 #include <vector>
 
 #include "core/sample_index.hpp"
+#include "core/two_stage.hpp"
 #include "sim/trace.hpp"
 
 namespace repro::core {
+
+/// One cell of a split x model sweep (two_stage_sweep below).
+struct SweepCell {
+  std::size_t split = 0;       ///< index into the splits span
+  ml::ModelKind model{};
+  ml::ClassMetrics metrics{};
+  double train_seconds = 0.0;
+  std::size_t stage2_size = 0;
+};
+
+/// Trains and evaluates one TwoStagePredictor per (split, model) pair,
+/// fanning the independent cells across the thread pool; each predictor's
+/// own inner parallelism then runs inline on the worker. `base` supplies
+/// features/threshold/seed, with the model field overridden per cell.
+/// Results are split-major, in deterministic order.
+std::vector<SweepCell> two_stage_sweep(const sim::Trace& trace,
+                                       std::span<const SplitSpec> splits,
+                                       std::span<const ml::ModelKind> models,
+                                       const TwoStageConfig& base);
 
 /// Per-cabinet counts of SBE-affected samples: ground truth, predicted
 /// (TP + FP), and true positives (Fig 13).

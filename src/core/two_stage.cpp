@@ -1,5 +1,7 @@
 #include "core/two_stage.hpp"
 
+#include "common/parallel.hpp"
+
 namespace repro::core {
 
 TwoStagePredictor::TwoStagePredictor(const TwoStageConfig& config)
@@ -41,19 +43,24 @@ void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
 std::vector<float> TwoStagePredictor::predict_proba(
     const sim::Trace& trace, std::span<const std::size_t> idx) const {
   REPRO_CHECK_MSG(trained(), "predict before train");
-  std::vector<float> out;
-  out.reserve(idx.size());
-  std::vector<float> row(extractor_->dim());
-  for (const std::size_t i : idx) {
-    const sim::RunNodeSample& s = trace.samples[i];
-    if (!offender_mask_[static_cast<std::size_t>(s.node)]) {
-      out.push_back(0.0f);  // stage-1 reject: predicted SBE-free
-      continue;
-    }
-    extractor_->extract(s, row);
-    scaler_.transform_row(row);
-    out.push_back(model_->predict_proba(row));
-  }
+  std::vector<float> out(idx.size());
+  // Samples are independent; each chunk owns a feature-row buffer and
+  // writes disjoint output slots.
+  parallel_for_chunks(
+      idx.size(), 128,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<float> row(extractor_->dim());
+        for (std::size_t k = begin; k < end; ++k) {
+          const sim::RunNodeSample& s = trace.samples[idx[k]];
+          if (!offender_mask_[static_cast<std::size_t>(s.node)]) {
+            out[k] = 0.0f;  // stage-1 reject: predicted SBE-free
+            continue;
+          }
+          extractor_->extract(s, row);
+          scaler_.transform_row(row);
+          out[k] = model_->predict_proba(row);
+        }
+      });
   return out;
 }
 

@@ -21,7 +21,12 @@ void SbeLog::Index::add(Minute t, std::uint32_t count) {
 }
 
 std::uint64_t SbeLog::Index::between(Minute lo, Minute hi) const {
-  if (when.empty() || lo >= hi) return 0;
+  // Windows that reach before the trace start are truncated at minute 0;
+  // a genuinely inverted window is a caller bug, not an empty query.
+  lo = std::max<Minute>(lo, 0);
+  hi = std::max<Minute>(hi, 0);
+  REPRO_CHECK_MSG(lo <= hi, "inverted SBE history window");
+  if (when.empty() || lo == hi) return 0;
   const auto first = std::lower_bound(when.begin(), when.end(), lo);
   const auto last = std::lower_bound(when.begin(), when.end(), hi);
   if (first == last) return 0;

@@ -1,7 +1,9 @@
 #include "features/features.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "forecast/forecast.hpp"
 
@@ -141,7 +143,16 @@ void FeatureExtractor::extract(const sim::RunNodeSample& s,
                                              s.recent_len);
       const std::span<const float> power_hist(s.recent_gpu_power.data(),
                                               s.recent_len);
-      const auto horizon = static_cast<std::size_t>(s.runtime_min);
+      // runtime_min is a float from the workload model; a negative or NaN
+      // value would wrap to a huge size_t and the forecast would allocate
+      // a buffer of that length. Clamp to [0, two weeks].
+      constexpr float kMaxForecastHorizonMin =
+          static_cast<float>(14 * kMinutesPerDay);
+      const float rt =
+          std::isfinite(s.runtime_min)
+              ? std::clamp(s.runtime_min, 0.0f, kMaxForecastHorizonMin)
+              : 0.0f;
+      const auto horizon = static_cast<std::size_t>(rt);
       emit_four(out, k, forecast::forecast_run_stats(temp_hist, horizon));
       emit_four(out, k, forecast::forecast_run_stats(power_hist, horizon));
     } else {
@@ -163,10 +174,13 @@ void FeatureExtractor::extract(const sim::RunNodeSample& s,
 
   // SBE history, visible strictly before the run starts (snapshot
   // semantics are already enforced by SbeLog's observation times).
+  // Clamp the window starts to 0: a run in the trace's first two days has
+  // day1/day2 before minute zero, and the unclamped values used to reach
+  // SbeLog::between as lo > hi (an empty-by-accident, order-inverted query).
   const auto& log = trace_.sbe_log;
   const Minute t = s.start;
-  const Minute day1 = t - kMinutesPerDay;
-  const Minute day2 = t - 2 * kMinutesPerDay;
+  const Minute day1 = std::max<Minute>(t - kMinutesPerDay, 0);
+  const Minute day2 = std::max<Minute>(t - 2 * kMinutesPerDay, 0);
   if (m & kFeatHistLocalToday) {
     out[k++] = count_feature(log.node_count_between(s.node, day1, t));
   }
@@ -197,13 +211,16 @@ ml::Dataset FeatureExtractor::build(
   ml::Dataset d;
   d.feature_names = names_;
   d.X = ml::Matrix(sample_idx.size(), dim());
-  d.y.reserve(sample_idx.size());
-  for (std::size_t r = 0; r < sample_idx.size(); ++r) {
-    REPRO_CHECK(sample_idx[r] < trace_.samples.size());
-    const sim::RunNodeSample& s = trace_.samples[sample_idx[r]];
-    extract(s, d.X.row(r));
-    d.y.push_back(s.sbe_affected() ? 1 : 0);
-  }
+  d.y.assign(sample_idx.size(), 0);
+  // Rows are independent and written disjointly; extract() is const.
+  parallel_for(sample_idx.size(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      REPRO_CHECK(sample_idx[r] < trace_.samples.size());
+      const sim::RunNodeSample& s = trace_.samples[sample_idx[r]];
+      extract(s, d.X.row(r));
+      d.y[r] = s.sbe_affected() ? 1 : 0;
+    }
+  });
   return d;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.hpp"
+
 namespace repro::ml {
 
 GradientBoostedTrees::GradientBoostedTrees(std::uint64_t seed) : GradientBoostedTrees(Params{}, seed) {}
@@ -27,23 +29,27 @@ void FeatureBinner::fit(const Matrix& X, std::size_t max_bins,
     rows = rng.sample_without_replacement(X.rows(), sample_rows);
   }
 
-  std::vector<float> values(rows.size());
-  for (std::size_t f = 0; f < d; ++f) {
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      values[i] = X.at(rows[i], f);
-    }
-    std::sort(values.begin(), values.end());
-    auto& edges = edges_[f];
-    float last = values.front();
-    for (std::size_t b = 1; b < max_bins; ++b) {
-      const std::size_t pos = b * values.size() / max_bins;
-      const float v = values[std::min(pos, values.size() - 1)];
-      if (v > last) {
-        edges.push_back(v);
-        last = v;
+  // Features are independent: one chunk per feature, each with its own
+  // sort buffer. Identical to the serial loop for any thread count.
+  parallel_for(d, 1, [&](std::size_t f_begin, std::size_t f_end) {
+    std::vector<float> values(rows.size());
+    for (std::size_t f = f_begin; f < f_end; ++f) {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        values[i] = X.at(rows[i], f);
+      }
+      std::sort(values.begin(), values.end());
+      auto& edges = edges_[f];
+      float last = values.front();
+      for (std::size_t b = 1; b < max_bins; ++b) {
+        const std::size_t pos = b * values.size() / max_bins;
+        const float v = values[std::min(pos, values.size() - 1)];
+        if (v > last) {
+          edges.push_back(v);
+          last = v;
+        }
       }
     }
-  }
+  });
 }
 
 std::size_t FeatureBinner::bins(std::size_t feature) const {
@@ -68,12 +74,14 @@ float FeatureBinner::upper_edge(std::size_t feature, std::uint8_t c) const {
 std::vector<std::uint8_t> FeatureBinner::transform(const Matrix& X) const {
   REPRO_CHECK_MSG(X.cols() == edges_.size(), "binner width mismatch");
   std::vector<std::uint8_t> codes(X.rows() * X.cols());
-  for (std::size_t r = 0; r < X.rows(); ++r) {
-    const auto row = X.row(r);
-    for (std::size_t f = 0; f < X.cols(); ++f) {
-      codes[r * X.cols() + f] = code(f, row[f]);
+  parallel_for(X.rows(), 512, [&](std::size_t r_begin, std::size_t r_end) {
+    for (std::size_t r = r_begin; r < r_end; ++r) {
+      const auto row = X.row(r);
+      for (std::size_t f = 0; f < X.cols(); ++f) {
+        codes[r * X.cols() + f] = code(f, row[f]);
+      }
     }
-  }
+  });
   return codes;
 }
 
@@ -109,26 +117,66 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
   level.push_back({0, rows});
 
   constexpr std::size_t kBins = 256;
-  std::vector<double> hg(d * kBins), hh(d * kBins);
+  // Row chunks accumulate private histograms that are merged in ascending
+  // chunk order, so the sums are bit-identical for any thread count. The
+  // chunk-count cap bounds scratch memory; the grain grows with the node's
+  // row count instead (both depend only on the data, never on threads).
+  constexpr std::size_t kMaxHistChunks = 16;
+  constexpr std::size_t kMinHistGrain = 4096;
+  struct HistChunk {
+    std::vector<double> hg, hh;
+    double G = 0.0, H = 0.0;
+  };
+  std::vector<HistChunk> scratch(kMaxHistChunks);
 
   for (std::size_t depth = 0; depth < params_.max_depth && !level.empty();
        ++depth) {
     std::vector<Frontier> next;
     for (Frontier& fr : level) {
-      // Gradient/hessian histograms for this node.
-      std::fill(hg.begin(), hg.end(), 0.0);
-      std::fill(hh.begin(), hh.end(), 0.0);
-      double G = 0.0, H = 0.0;
-      for (const std::size_t r : fr.rows) {
-        const std::uint8_t* row_codes = codes.data() + r * d;
-        const double g = grad[r], h = hess[r];
-        G += g;
-        H += h;
-        for (std::size_t f = 0; f < d; ++f) {
-          const std::size_t idx = f * kBins + row_codes[f];
-          hg[idx] += g;
-          hh[idx] += h;
+      if (fr.rows.empty()) {
+        tree.nodes[static_cast<std::size_t>(fr.node)].value = 0.0f;
+        continue;
+      }
+      // Gradient/hessian histograms for this node, chunked over its rows.
+      const std::size_t grain =
+          chunk_grain_for(fr.rows.size(), kMinHistGrain, kMaxHistChunks);
+      const std::size_t nchunks = chunk_count(fr.rows.size(), grain);
+      parallel_for_chunks(
+          fr.rows.size(), grain,
+          [&](std::size_t c, std::size_t begin, std::size_t end) {
+            HistChunk& hc = scratch[c];
+            if (hc.hg.empty()) {
+              hc.hg.resize(d * kBins);
+              hc.hh.resize(d * kBins);
+            }
+            std::fill(hc.hg.begin(), hc.hg.end(), 0.0);
+            std::fill(hc.hh.begin(), hc.hh.end(), 0.0);
+            hc.G = 0.0;
+            hc.H = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::size_t r = fr.rows[i];
+              const std::uint8_t* row_codes = codes.data() + r * d;
+              const double g = grad[r], h = hess[r];
+              hc.G += g;
+              hc.H += h;
+              for (std::size_t f = 0; f < d; ++f) {
+                const std::size_t idx = f * kBins + row_codes[f];
+                hc.hg[idx] += g;
+                hc.hh[idx] += h;
+              }
+            }
+          });
+      std::vector<double>& hg = scratch[0].hg;
+      std::vector<double>& hh = scratch[0].hh;
+      double G = scratch[0].G, H = scratch[0].H;
+      for (std::size_t c = 1; c < nchunks; ++c) {
+        const HistChunk& hc = scratch[c];
+        for (std::size_t i = 0; i < d * kBins; ++i) {
+          hg[i] += hc.hg[i];
+          hh[i] += hc.hh[i];
         }
+        G += hc.G;
+        H += hc.H;
       }
 
       const double lambda = params_.lambda;
@@ -190,16 +238,21 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
     level = std::move(next);
   }
 
-  // Depth limit reached: finalize any nodes still on the frontier.
-  for (const Frontier& fr : level) {
-    double G = 0.0, H = 0.0;
-    for (const std::size_t r : fr.rows) {
-      G += grad[r];
-      H += hess[r];
+  // Depth limit reached: finalize any nodes still on the frontier. Nodes
+  // are independent; each node's row sum stays serial, so values are
+  // identical for any thread count.
+  parallel_for(level.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Frontier& fr = level[i];
+      double G = 0.0, H = 0.0;
+      for (const std::size_t r : fr.rows) {
+        G += grad[r];
+        H += hess[r];
+      }
+      tree.nodes[static_cast<std::size_t>(fr.node)].value =
+          static_cast<float>(-G / (H + params_.lambda) * params_.learning_rate);
     }
-    tree.nodes[static_cast<std::size_t>(fr.node)].value =
-        static_cast<float>(-G / (H + params_.lambda) * params_.learning_rate);
-  }
+  });
   return tree;
 }
 
@@ -230,12 +283,18 @@ void GradientBoostedTrees::fit(const Dataset& train) {
   std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
 
   for (std::size_t t = 0; t < params_.trees; ++t) {
-    for (std::size_t r = 0; r < n; ++r) {
-      const float p = sigmoidf(score[r]);
-      const float w = train.y[r] ? static_cast<float>(params_.pos_weight) : 1.0f;
-      grad[r] = w * (p - static_cast<float>(train.y[r]));
-      hess[r] = w * p * (1.0f - p);
-    }
+    // Per-row gradients/hessians: disjoint writes, no accumulation.
+    parallel_for(n, 4096, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) {
+        const float p = sigmoidf(score[r]);
+        const float w =
+            train.y[r] ? static_cast<float>(params_.pos_weight) : 1.0f;
+        grad[r] = w * (p - static_cast<float>(train.y[r]));
+        hess[r] = w * p * (1.0f - p);
+      }
+    });
+    // Subsampling consumes the model's single Rng stream, so it must stay
+    // serial: the draw sequence is part of the deterministic state.
     std::vector<std::size_t> rows;
     if (params_.subsample < 1.0) {
       rows.reserve(static_cast<std::size_t>(
@@ -248,9 +307,11 @@ void GradientBoostedTrees::fit(const Dataset& train) {
       rows = all_rows;
     }
     Tree tree = build_tree(codes, d, rows, grad, hess);
-    for (std::size_t r = 0; r < n; ++r) {
-      score[r] += tree.predict(train.X.row(r));
-    }
+    parallel_for(n, 1024, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) {
+        score[r] += tree.predict(train.X.row(r));
+      }
+    });
     trees_.push_back(std::move(tree));
   }
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "ml/gbdt.hpp"
 #include "ml/logistic_regression.hpp"
 #include "ml/neural_network.hpp"
@@ -9,22 +10,26 @@
 
 namespace repro::ml {
 
+// Inference is const and rows are independent, so both batch helpers are
+// row-parallel with per-index writes.
 std::vector<float> Model::predict_proba_batch(const Matrix& X) const {
-  std::vector<float> out;
-  out.reserve(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) {
-    out.push_back(predict_proba(X.row(r)));
-  }
+  std::vector<float> out(X.rows());
+  parallel_for(X.rows(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      out[r] = predict_proba(X.row(r));
+    }
+  });
   return out;
 }
 
 std::vector<Label> Model::predict_batch(const Matrix& X,
                                         float threshold) const {
-  std::vector<Label> out;
-  out.reserve(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) {
-    out.push_back(predict_proba(X.row(r)) >= threshold ? 1 : 0);
-  }
+  std::vector<Label> out(X.rows());
+  parallel_for(X.rows(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      out[r] = predict_proba(X.row(r)) >= threshold ? 1 : 0;
+    }
+  });
   return out;
 }
 

@@ -1,7 +1,10 @@
 #include "ml/neural_network.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+
+#include "common/parallel.hpp"
 
 namespace repro::ml {
 
@@ -73,8 +76,22 @@ void NeuralNetwork::fit(const Dataset& train) {
     gb[l].assign(layers_[l].out, 0.0);
   }
 
-  std::vector<std::vector<float>> acts;
-  std::vector<std::vector<float>> delta(layers_.size() + 1);
+  // Per-chunk backprop scratch: samples within a batch are independent
+  // given fixed weights, so chunks accumulate private gradients that are
+  // merged in ascending chunk order (bit-identical for any thread count).
+  constexpr std::size_t kBatchGrain = 32;
+  struct GradChunk {
+    std::vector<std::vector<double>> gw, gb;
+    std::vector<std::vector<float>> acts, delta;
+  };
+  std::vector<GradChunk> scratch(
+      chunk_count(params_.batch_size, kBatchGrain));
+  for (GradChunk& gc : scratch) {
+    gc.gw.resize(layers_.size());
+    gc.gb.resize(layers_.size());
+    gc.delta.resize(layers_.size() + 1);
+  }
+
   std::size_t step = 0;
 
   for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
@@ -88,39 +105,64 @@ void NeuralNetwork::fit(const Dataset& train) {
         std::fill(gb[l].begin(), gb[l].end(), 0.0);
       }
 
-      for (std::size_t i = begin; i < end; ++i) {
-        const std::size_t r = order[i];
-        forward(train.X.row(r), acts);
-        const float y = static_cast<float>(train.y[r]);
-        const float p = sigmoidf(acts.back()[0]);
-        const float w_sample =
-            train.y[r] ? static_cast<float>(params_.pos_weight) : 1.0f;
+      const std::size_t bsize = end - begin;
+      const std::size_t nchunks = chunk_count(bsize, kBatchGrain);
+      parallel_for_chunks(
+          bsize, kBatchGrain,
+          [&](std::size_t c, std::size_t c_begin, std::size_t c_end) {
+            GradChunk& gc = scratch[c];
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+              gc.gw[l].assign(layers_[l].w.size(), 0.0);
+              gc.gb[l].assign(layers_[l].out, 0.0);
+            }
+            auto& acts = gc.acts;
+            auto& delta = gc.delta;
+            for (std::size_t i = begin + c_begin; i < begin + c_end; ++i) {
+              const std::size_t r = order[i];
+              forward(train.X.row(r), acts);
+              const float y = static_cast<float>(train.y[r]);
+              const float p = sigmoidf(acts.back()[0]);
+              const float w_sample =
+                  train.y[r] ? static_cast<float>(params_.pos_weight) : 1.0f;
 
-        // Output delta of BCE + sigmoid is (p - y).
-        delta[layers_.size()].assign(1, (p - y) * w_sample);
-        for (std::size_t l = layers_.size(); l-- > 0;) {
-          const Layer& layer = layers_[l];
-          const auto& dout = delta[l + 1];
-          const auto& ain = acts[l];
-          auto& din = delta[l];
-          din.assign(layer.in, 0.0f);
-          for (std::size_t o = 0; o < layer.out; ++o) {
-            const float dz = dout[o];
-            if (dz == 0.0f) continue;
-            const float* w = layer.w.data() + o * layer.in;
-            double* g = gw[l].data() + o * layer.in;
-            for (std::size_t c = 0; c < layer.in; ++c) {
-              g[c] += static_cast<double>(dz) * ain[c];
-              din[c] += dz * w[c];
+              // Output delta of BCE + sigmoid is (p - y).
+              delta[layers_.size()].assign(1, (p - y) * w_sample);
+              for (std::size_t l = layers_.size(); l-- > 0;) {
+                const Layer& layer = layers_[l];
+                const auto& dout = delta[l + 1];
+                const auto& ain = acts[l];
+                auto& din = delta[l];
+                din.assign(layer.in, 0.0f);
+                for (std::size_t o = 0; o < layer.out; ++o) {
+                  const float dz = dout[o];
+                  if (dz == 0.0f) continue;
+                  const float* w = layer.w.data() + o * layer.in;
+                  double* g = gc.gw[l].data() + o * layer.in;
+                  for (std::size_t c2 = 0; c2 < layer.in; ++c2) {
+                    g[c2] += static_cast<double>(dz) * ain[c2];
+                    din[c2] += dz * w[c2];
+                  }
+                  gc.gb[l][o] += dz;
+                }
+                if (l > 0) {
+                  // ReLU derivative on the pre-activations of layer l-1's
+                  // output.
+                  const auto& a = acts[l];
+                  for (std::size_t c2 = 0; c2 < din.size(); ++c2) {
+                    if (a[c2] <= 0.0f) din[c2] = 0.0f;
+                  }
+                }
+              }
             }
-            gb[l][o] += dz;
+          });
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        const GradChunk& gc = scratch[c];
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          for (std::size_t k = 0; k < gw[l].size(); ++k) {
+            gw[l][k] += gc.gw[l][k];
           }
-          if (l > 0) {
-            // ReLU derivative on the pre-activations of layer l-1's output.
-            const auto& a = acts[l];
-            for (std::size_t c = 0; c < din.size(); ++c) {
-              if (a[c] <= 0.0f) din[c] = 0.0f;
-            }
+          for (std::size_t k = 0; k < gb[l].size(); ++k) {
+            gb[l][k] += gc.gb[l][k];
           }
         }
       }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numbers>
 #include <numeric>
+#include <utility>
+
+#include "common/parallel.hpp"
 
 namespace repro::ml {
 
@@ -129,15 +132,19 @@ void Svm::fit_smo(const Dataset& train) {
       alpha[i] = ai;
       alpha[j] = aj;
 
-      // Update the decision cache and bias.
+      // Update the decision cache and bias. Each f[k] is written by
+      // exactly one chunk, with the same two-kernel delta regardless of
+      // the thread count.
       const double di = (ai - ai_old) * y[i];
       const double dj = (aj - aj_old) * y[j];
-      for (std::size_t k = 0; k < n; ++k) {
-        double delta = 0.0;
-        if (di != 0.0) delta += di * rbf(X.row(i), X.row(k), gamma_);
-        if (dj != 0.0) delta += dj * rbf(X.row(j), X.row(k), gamma_);
-        f[k] += delta;
-      }
+      parallel_for(n, 512, [&](std::size_t k_begin, std::size_t k_end) {
+        for (std::size_t k = k_begin; k < k_end; ++k) {
+          double delta = 0.0;
+          if (di != 0.0) delta += di * rbf(X.row(i), X.row(k), gamma_);
+          if (dj != 0.0) delta += dj * rbf(X.row(j), X.row(k), gamma_);
+          f[k] += delta;
+        }
+      });
       const double b1 = b - Ei - di * 1.0 - dj * kij;
       const double b2 = b - Ej - di * kij - dj * 1.0;
       if (ai > 0.0 && ai < Ci) {
@@ -164,13 +171,16 @@ void Svm::fit_smo(const Dataset& train) {
   }
   smo_bias_ = static_cast<float>(b);
 
-  // Platt scaling on (subsampled) training margins.
+  // Platt scaling on (subsampled) training margins. margin() is const and
+  // rows are disjoint.
   std::vector<float> margins(n);
   std::vector<Label> labels(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    margins[i] = margin(X.row(i));
-    labels[i] = y[i] > 0 ? 1 : 0;
-  }
+  parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      margins[i] = margin(X.row(i));
+      labels[i] = y[i] > 0 ? 1 : 0;
+    }
+  });
   fit_platt(margins, labels);
 }
 
@@ -186,9 +196,13 @@ void Svm::fit_rff(const Dataset& train) {
   }
 
   // Pre-lift the training set; dominates memory but makes epochs
-  // cache-friendly.
+  // cache-friendly. Rows are independent.
   Matrix lifted(n, D);
-  for (std::size_t r = 0; r < n; ++r) lift(train.X.row(r), lifted.row(r));
+  parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      lift(train.X.row(r), lifted.row(r));
+    }
+  });
 
   weights_.assign(D, 0.0f);
   bias_ = 0.0f;
@@ -220,12 +234,14 @@ void Svm::fit_rff(const Dataset& train) {
   }
 
   std::vector<float> margins(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    const auto phi = lifted.row(r);
-    float m = bias_;
-    for (std::size_t j = 0; j < D; ++j) m += weights_[j] * phi[j];
-    margins[r] = m;
-  }
+  parallel_for(n, 256, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto phi = lifted.row(r);
+      float m = bias_;
+      for (std::size_t j = 0; j < D; ++j) m += weights_[j] * phi[j];
+      margins[r] = m;
+    }
+  });
   fit_platt(margins, train.y);
 }
 
@@ -235,13 +251,24 @@ void Svm::fit_platt(std::span<const float> margins,
   const double lr = 0.1;
   const auto n = static_cast<double>(margins.size());
   for (std::uint64_t it = 0; it < params_.platt_iters; ++it) {
-    double ga = 0.0, gb = 0.0;
-    for (std::size_t r = 0; r < margins.size(); ++r) {
-      const double p = 1.0 / (1.0 + std::exp(-(a * margins[r] + b)));
-      const double err = p - static_cast<double>(labels[r]);
-      ga += err * margins[r];
-      gb += err;
-    }
+    // Ordered reduction: per-chunk partial gradients combined in chunk
+    // order, so the float sums are identical for any thread count.
+    const auto [ga, gb] = parallel_reduce(
+        margins.size(), 2048, std::pair<double, double>{0.0, 0.0},
+        [&](std::size_t begin, std::size_t end) {
+          double pa = 0.0, pb = 0.0;
+          for (std::size_t r = begin; r < end; ++r) {
+            const double p = 1.0 / (1.0 + std::exp(-(a * margins[r] + b)));
+            const double err = p - static_cast<double>(labels[r]);
+            pa += err * margins[r];
+            pb += err;
+          }
+          return std::pair<double, double>{pa, pb};
+        },
+        [](std::pair<double, double> acc, std::pair<double, double> p) {
+          return std::pair<double, double>{acc.first + p.first,
+                                           acc.second + p.second};
+        });
     a -= lr * ga / n;
     b -= lr * gb / n;
   }

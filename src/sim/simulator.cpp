@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace repro::sim {
 
 SimConfig SimConfig::testing(std::int64_t test_days, std::uint64_t test_seed) {
@@ -150,35 +152,45 @@ void Simulator::step() {
   thermal_.step(t, utilization_);
   const auto& readings = thermal_.readings();
   const auto n = static_cast<std::size_t>(topology_.total_nodes());
-  for (std::size_t i = 0; i < n; ++i) {
-    store_.record(static_cast<topo::NodeId>(i), readings[i]);
-  }
-
+  // Store recording and idle-minute histograms touch per-node state only,
+  // so they parallelize over nodes without changing any result.
+  //
   // Idle minutes belong to the node's SBE-free period (Figs 6-7: the
   // "SBE-free period" is all time without errors, busy or not; SBE-affected
   // minutes are attributed when their run completes).
-  for (std::size_t i = 0; i < n; ++i) {
-    if (utilization_[i] <= 0.0f) {
-      auto& hists = trace_.period_hists[i];
-      hists.temp_free.add(readings[i].gpu_temp);
-      hists.power_free.add(readings[i].gpu_power);
+  parallel_for(n, 256, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      store_.record(static_cast<topo::NodeId>(i), readings[i]);
+      if (utilization_[i] <= 0.0f) {
+        auto& hists = trace_.period_hists[i];
+        hists.temp_free.add(readings[i].gpu_temp);
+        hists.power_free.add(readings[i].gpu_power);
+      }
     }
-  }
+  });
 
-  // Slot sums for neighbor features.
+  // Slot sums for neighbor features (disjoint per slot; the fixed per-slot
+  // summation order keeps the float sums exact across thread counts).
   const auto nps =
       static_cast<std::size_t>(topology_.config().nodes_per_slot);
-  for (std::size_t s = 0; s < slot_temp_sum_.size(); ++s) {
-    float ts = 0.0f, ps = 0.0f;
-    for (std::size_t k = 0; k < nps; ++k) {
-      ts += readings[s * nps + k].gpu_temp;
-      ps += readings[s * nps + k].gpu_power;
-    }
-    slot_temp_sum_[s] = ts;
-    slot_power_sum_[s] = ps;
-  }
+  parallel_for(slot_temp_sum_.size(), 256,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t s = begin; s < end; ++s) {
+                   float ts = 0.0f, ps = 0.0f;
+                   for (std::size_t k = 0; k < nps; ++k) {
+                     ts += readings[s * nps + k].gpu_temp;
+                     ps += readings[s * nps + k].gpu_power;
+                   }
+                   slot_temp_sum_[s] = ts;
+                   slot_power_sum_[s] = ps;
+                 }
+               });
 
-  // 4. Per busy <run, node>: statistics + fault draws.
+  // 4. Per busy <run, node>: statistics + fault draws. This loop stays
+  // serial by design: every fault draw consumes the simulator's single
+  // rng_ stream, and that draw sequence is part of the trace's
+  // deterministic definition — splitting it across threads would change
+  // which run sees which draw.
   const float peers = static_cast<float>(nps) - 1.0f;
   for (auto& [run_id, rs] : active_) {
     const workload::AppId app = rs.run.app;

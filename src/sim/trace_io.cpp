@@ -12,7 +12,28 @@ namespace repro::sim {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x54524143'45763034ULL;  // "TRACEv04"
+// v05: ThermalModel switched to per-node noise streams, which changes the
+// generated telemetry for identical configs — old cached traces no longer
+// correspond to what simulate() would produce.
+constexpr std::uint64_t kMagic = 0x54524143'45763035ULL;  // "TRACEv05"
+
+// The fingerprint below must fold EVERY generative field of SimConfig, or
+// two configs differing in an unfolded field would silently share a cache
+// entry. These size guards force whoever adds a field to revisit
+// config_fingerprint (and bump kMagic if the trace semantics change).
+static_assert(sizeof(topo::SystemConfig) == 5 * sizeof(std::int32_t),
+              "SystemConfig changed: update config_fingerprint");
+static_assert(sizeof(workload::CatalogParams) ==
+                  sizeof(std::size_t) + 3 * sizeof(double) + sizeof(std::int32_t) + 4,
+              "CatalogParams changed: update config_fingerprint");
+static_assert(sizeof(workload::SchedulerParams) ==
+                  2 * sizeof(double) + sizeof(std::int32_t) + 4 + sizeof(double),
+              "SchedulerParams changed: update config_fingerprint");
+static_assert(sizeof(telemetry::ThermalParams) == 20 * sizeof(double),
+              "ThermalParams changed: update config_fingerprint");
+static_assert(sizeof(faults::FaultParams) ==
+                  24 * sizeof(double) + sizeof(std::int64_t),
+              "FaultParams changed: update config_fingerprint");
 
 // Fold a printable representation of every generative parameter; string
 // formatting keeps the fingerprint independent of struct padding.

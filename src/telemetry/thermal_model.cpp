@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/parallel.hpp"
+
 namespace repro::telemetry {
 
 ThermalModel::ThermalModel(const topo::Topology& topology,
@@ -25,6 +27,14 @@ ThermalModel::ThermalModel(const topo::Topology& topology,
   efficiency_.resize(n);
   readings_.resize(n);
   slot_load_.assign(n / static_cast<std::size_t>(nodes_per_slot_), 0.0f);
+
+  // Per-node noise streams for step(): forked up front so the per-minute
+  // loop never shares an Rng across threads.
+  Rng noise_root = rng_.fork(0x5EED);
+  node_noise_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    node_noise_.push_back(noise_root.fork(i));
+  }
 
   Rng node_rng = rng_.fork(0x40DE);
   const double gx = cfg.grid_x - 1;
@@ -75,35 +85,40 @@ void ThermalModel::step(Minute now, const std::vector<float>& utilization) {
                static_cast<double>(minute_of_day(now)) /
                static_cast<double>(kMinutesPerDay));
 
-  for (std::size_t i = 0; i < n; ++i) {
-    Reading& r = readings_[i];
-    const double u = utilization[i];
-    const double slot_u = slot_load_[i / nps];
+  // Nodes are independent: each owns its reading and its noise stream, so
+  // this loop is bitwise-identical to serial execution for any thread count.
+  parallel_for(n, 256, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Reading& r = readings_[i];
+      Rng& noise = node_noise_[i];
+      const double u = utilization[i];
+      const double slot_u = slot_load_[i / nps];
 
-    const double target = ambient_[i] + diurnal + params_.idle_offset_c +
-                          params_.load_gain_c * u +
-                          params_.neighbor_gain_c * slot_u;
-    const double gap = target - r.gpu_temp;
-    const double rate = gap > 0.0 ? params_.heat_rate : params_.cool_rate;
-    r.gpu_temp = static_cast<float>(
-        r.gpu_temp + rate * gap +
-        params_.temp_noise_c * rng_.fast_normal());
+      const double target = ambient_[i] + diurnal + params_.idle_offset_c +
+                            params_.load_gain_c * u +
+                            params_.neighbor_gain_c * slot_u;
+      const double gap = target - r.gpu_temp;
+      const double rate = gap > 0.0 ? params_.heat_rate : params_.cool_rate;
+      r.gpu_temp = static_cast<float>(
+          r.gpu_temp + rate * gap +
+          params_.temp_noise_c * noise.fast_normal());
 
-    const double cpu_target = ambient_[i] + diurnal +
-                              params_.cpu_idle_offset_c +
-                              params_.cpu_load_gain_c * u;
-    const double cpu_gap = cpu_target - r.cpu_temp;
-    r.cpu_temp = static_cast<float>(
-        r.cpu_temp + params_.cpu_rate * cpu_gap +
-        params_.cpu_noise_c * rng_.fast_normal());
+      const double cpu_target = ambient_[i] + diurnal +
+                                params_.cpu_idle_offset_c +
+                                params_.cpu_load_gain_c * u;
+      const double cpu_gap = cpu_target - r.cpu_temp;
+      r.cpu_temp = static_cast<float>(
+          r.cpu_temp + params_.cpu_rate * cpu_gap +
+          params_.cpu_noise_c * noise.fast_normal());
 
-    // Power responds essentially instantaneously to load.
-    const double p = params_.idle_power_w +
-                     params_.dynamic_power_w * u * efficiency_[i] +
-                     params_.leakage_w_per_c * (r.gpu_temp - 30.0) +
-                     params_.power_noise_w * rng_.fast_normal();
-    r.gpu_power = static_cast<float>(p < 0.0 ? 0.0 : p);
-  }
+      // Power responds essentially instantaneously to load.
+      const double p = params_.idle_power_w +
+                       params_.dynamic_power_w * u * efficiency_[i] +
+                       params_.leakage_w_per_c * (r.gpu_temp - 30.0) +
+                       params_.power_noise_w * noise.fast_normal();
+      r.gpu_power = static_cast<float>(p < 0.0 ? 0.0 : p);
+    }
+  });
 }
 
 double ThermalModel::ambient_of(topo::NodeId node) const {

@@ -89,6 +89,10 @@ class ThermalModel {
   ThermalParams params_;
   Rng rng_;
 
+  // One pre-split noise stream per node: the per-minute loop can then run
+  // across threads with a bitwise-identical draw sequence per node,
+  // independent of scheduling (see common/parallel.hpp, rule 3).
+  std::vector<Rng> node_noise_;
   std::vector<float> ambient_;        // per node, includes cabinet lottery
   std::vector<float> efficiency_;     // per node power efficiency multiplier
   std::vector<Reading> readings_;     // current state (also the output)

@@ -1,0 +1,195 @@
+// The deterministic parallel layer's contract (common/parallel.hpp):
+// static chunk grids, fixed-order reduction, full bypass at one thread —
+// and therefore results that never depend on the thread count.
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace repro {
+namespace {
+
+// Restores the thread count after each test so the sweep order of tests
+// cannot leak state.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_parallel_threads(1); }
+};
+
+TEST_F(ParallelTest, ChunkCountMatchesCeilDiv) {
+  EXPECT_EQ(chunk_count(0, 4), 0u);
+  EXPECT_EQ(chunk_count(1, 4), 1u);
+  EXPECT_EQ(chunk_count(4, 4), 1u);
+  EXPECT_EQ(chunk_count(5, 4), 2u);
+  EXPECT_EQ(chunk_count(8, 4), 2u);
+  EXPECT_EQ(chunk_count(9, 4), 3u);
+}
+
+TEST_F(ParallelTest, ChunkGrainForCapsChunkCount) {
+  // Large n: the grain grows so the chunk count stays at the cap.
+  for (const std::size_t n : {100000ul, 123457ul, 999999ul}) {
+    const std::size_t grain = chunk_grain_for(n, 4096, 16);
+    EXPECT_LE(chunk_count(n, grain), 16u) << "n=" << n;
+  }
+  // Small n: the minimum grain wins.
+  EXPECT_EQ(chunk_grain_for(100, 4096, 16), 4096u);
+}
+
+TEST_F(ParallelTest, ThreadsFromEnvParsing) {
+  EXPECT_EQ(detail::threads_from_env("1"), 1u);
+  EXPECT_EQ(detail::threads_from_env("8"), 8u);
+  EXPECT_EQ(detail::threads_from_env("0"), 1u);     // invalid -> 1
+  EXPECT_EQ(detail::threads_from_env(""), 1u);
+  EXPECT_EQ(detail::threads_from_env("abc"), 1u);
+  EXPECT_EQ(detail::threads_from_env("4x"), 1u);
+  EXPECT_EQ(detail::threads_from_env("-2"), 1u);
+  EXPECT_EQ(detail::threads_from_env("99999"), 256u);  // clamped
+  EXPECT_EQ(detail::threads_from_env(nullptr), 1u);
+}
+
+TEST_F(ParallelTest, SetParallelThreadsClamps) {
+  set_parallel_threads(0);
+  EXPECT_EQ(parallel_threads(), 1u);
+  set_parallel_threads(100000);
+  EXPECT_EQ(parallel_threads(), 256u);
+  set_parallel_threads(4);
+  EXPECT_EQ(parallel_threads(), 4u);
+}
+
+TEST_F(ParallelTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    set_parallel_threads(threads);
+    const std::size_t n = 10007;  // prime: uneven final chunk
+    std::vector<std::atomic<int>> visits(n);
+    parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelTest, ChunkGridIndependentOfThreadCount) {
+  auto grid_at = [](std::size_t threads) {
+    set_parallel_threads(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> grid(
+        chunk_count(1000, 128));
+    parallel_for_chunks(1000, 128,
+                        [&](std::size_t c, std::size_t b, std::size_t e) {
+                          grid[c] = {b, e};
+                        });
+    return grid;
+  };
+  const auto serial = grid_at(1);
+  EXPECT_EQ(grid_at(2), serial);
+  EXPECT_EQ(grid_at(8), serial);
+}
+
+TEST_F(ParallelTest, OrderedReduceIsBitwiseInvariantAcrossThreadCounts) {
+  // A sum whose value DOES depend on accumulation order in floating point;
+  // the fixed-order combine must make it identical for every thread count.
+  const std::size_t n = 50000;
+  std::vector<float> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = std::sin(static_cast<float>(i) * 0.37f) *
+                (i % 97 == 0 ? 1e6f : 1e-3f);
+  }
+  auto sum_at = [&](std::size_t threads) {
+    set_parallel_threads(threads);
+    return parallel_reduce(
+        n, 512, 0.0f,
+        [&](std::size_t begin, std::size_t end) {
+          float s = 0.0f;
+          for (std::size_t i = begin; i < end; ++i) s += values[i];
+          return s;
+        },
+        [](float a, float b) { return a + b; });
+  };
+  const float serial = sum_at(1);
+  EXPECT_EQ(sum_at(2), serial);    // bitwise: EQ on floats is intentional
+  EXPECT_EQ(sum_at(3), serial);
+  EXPECT_EQ(sum_at(8), serial);
+}
+
+TEST_F(ParallelTest, NestedRegionsRunInlineAndStayCorrect) {
+  set_parallel_threads(4);
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> out(n, 0);
+  parallel_for(n, 4, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Inner region: must run inline (no deadlock) and still cover its
+      // whole range.
+      const std::uint64_t inner = parallel_reduce(
+          100, 10, std::uint64_t{0},
+          [&](std::size_t b, std::size_t e) {
+            std::uint64_t s = 0;
+            for (std::size_t k = b; k < e; ++k) s += k;
+            return s;
+          },
+          [](std::uint64_t a, std::uint64_t b2) { return a + b2; });
+      out[i] = inner + i;
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], 4950u + i);  // sum(0..99) == 4950
+  }
+}
+
+TEST_F(ParallelTest, ExceptionInChunkPropagatesToCaller) {
+  for (const std::size_t threads : {1u, 4u}) {
+    set_parallel_threads(threads);
+    EXPECT_THROW(
+        parallel_for(1000, 10,
+                     [&](std::size_t begin, std::size_t) {
+                       if (begin >= 500) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error)
+        << threads << " threads";
+    // The pool must still be usable afterwards.
+    std::atomic<std::size_t> count{0};
+    parallel_for(100, 10, [&](std::size_t begin, std::size_t end) {
+      count.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 100u);
+  }
+}
+
+TEST_F(ParallelTest, StressManySmallDispatches) {
+  // Exercises dispatch/wakeup races (and gives TSan something to chew on).
+  set_parallel_threads(8);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 300; ++round) {
+    total += parallel_reduce(
+        257, 16, std::uint64_t{0},
+        [&](std::size_t b, std::size_t e) {
+          return static_cast<std::uint64_t>(e - b);
+        },
+        [](std::uint64_t a, std::uint64_t b2) { return a + b2; });
+  }
+  EXPECT_EQ(total, 300u * 257u);
+}
+
+TEST_F(ParallelTest, EmptyRangeIsANoOp) {
+  set_parallel_threads(4);
+  bool called = false;
+  parallel_for(0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(parallel_reduce(
+                0, 16, 42,
+                [](std::size_t, std::size_t) { return 1; },
+                [](int a, int b) { return a + b; }),
+            42);
+}
+
+}  // namespace
+}  // namespace repro

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "core/baselines.hpp"
 #include "core/ecc_advisor.hpp"
@@ -229,6 +230,40 @@ TEST_F(TwoStageTest, PredictBeforeTrainThrows) {
   const std::vector<std::size_t> idx = {0};
   EXPECT_THROW(predictor.predict(trace_, idx), CheckError);
   EXPECT_THROW(predictor.model(), CheckError);
+}
+
+TEST_F(TwoStageTest, PipelineIsBitwiseInvariantAcrossThreadCounts) {
+  // The parallel layer's contract: identical chunk grids and ordered
+  // reductions regardless of worker count, so the full train/predict
+  // pipeline must produce byte-identical results at any thread count.
+  TwoStageConfig config;
+  config.model = ml::ModelKind::kGbdt;
+  const auto idx = samples_in(trace_, test_);
+
+  std::vector<float> baseline;
+  ml::ClassMetrics baseline_metrics{};
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    set_parallel_threads(threads);
+    TwoStagePredictor predictor(config);
+    predictor.train(trace_, train_);
+    const auto proba = predictor.predict_proba(trace_, idx);
+    const auto metrics = predictor.evaluate(trace_, test_);
+    if (threads == 1) {
+      baseline = proba;
+      baseline_metrics = metrics;
+      continue;
+    }
+    ASSERT_EQ(proba.size(), baseline.size()) << "threads=" << threads;
+    for (std::size_t k = 0; k < proba.size(); ++k) {
+      ASSERT_EQ(proba[k], baseline[k])  // bitwise, not approximate
+          << "threads=" << threads << " sample=" << k;
+    }
+    EXPECT_EQ(metrics.confusion.tp, baseline_metrics.confusion.tp);
+    EXPECT_EQ(metrics.confusion.fp, baseline_metrics.confusion.fp);
+    EXPECT_EQ(metrics.confusion.fn, baseline_metrics.confusion.fn);
+    EXPECT_EQ(metrics.positive.f1, baseline_metrics.positive.f1);
+  }
+  set_parallel_threads(1);
 }
 
 TEST_F(TwoStageTest, TrainSecondsIsPopulated) {

@@ -186,5 +186,23 @@ TEST(SbeLog, EmptyQueriesReturnZero) {
   EXPECT_EQ(log.events().size(), 0u);
 }
 
+TEST(SbeLog, NegativeWindowBoundsClampToZero) {
+  // History windows of early-trace runs can reach before minute 0; the
+  // query clamps them instead of treating them as inverted-and-empty.
+  SbeLog log(4, 2);
+  log.add(event(1, 0, 1, 50, 3));
+  EXPECT_EQ(log.node_count_between(1, -1000, 100), 3u);
+  EXPECT_EQ(log.node_count_between(1, -2000, -1000), 0u);  // clamps to [0, 0)
+  EXPECT_EQ(log.global_count_between(-5, 100), 3u);
+  EXPECT_EQ(log.global_count_between(-5, -1), 0u);
+}
+
+TEST(SbeLog, InvertedWindowIsACallerBug) {
+  SbeLog log(4, 2);
+  log.add(event(1, 0, 1, 50, 1));
+  EXPECT_THROW(log.node_count_between(1, 100, 50), CheckError);
+  EXPECT_THROW(log.global_count_between(200, 100), CheckError);
+}
+
 }  // namespace
 }  // namespace repro::faults

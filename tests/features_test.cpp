@@ -113,6 +113,55 @@ TEST(FeatureExtractor, HistoryMatchesSbeLogQueries) {
   }
 }
 
+TEST(FeatureExtractor, EarlyRunHistoryWindowsClampToTraceStart) {
+  // Regression: a run starting before kMinutesPerDay used to produce
+  // negative day1/day2 window bounds — and for runs in the first day,
+  // inverted (lo > hi) queries that only accidentally returned 0. The
+  // clamped windows must extract cleanly and match clamped log queries.
+  const sim::Trace& trace = shared_tiny_trace();
+  const FeatureExtractor fx(trace, {.mask = kGroupHist});
+  const auto& names = fx.names();
+  const auto col = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), name) - names.begin());
+  };
+  sim::RunNodeSample s = trace.samples.front();
+  std::vector<float> out(fx.dim());
+  for (const Minute start : {Minute{0}, Minute{30}, kMinutesPerDay / 2,
+                             kMinutesPerDay + 10}) {
+    s.start = start;
+    ASSERT_NO_THROW(fx.extract(s, out)) << "start=" << start;
+    const Minute day1 = std::max<Minute>(start - kMinutesPerDay, 0);
+    const Minute day2 = std::max<Minute>(start - 2 * kMinutesPerDay, 0);
+    EXPECT_FLOAT_EQ(out[col("hist_node_today")],
+                    static_cast<float>(trace.sbe_log.node_count_between(
+                        s.node, day1, start)));
+    EXPECT_FLOAT_EQ(out[col("hist_node_yesterday")],
+                    static_cast<float>(trace.sbe_log.node_count_between(
+                        s.node, day2, day1)));
+    EXPECT_FLOAT_EQ(out[col("hist_global_before")],
+                    static_cast<float>(
+                        trace.sbe_log.global_count_between(0, day2)));
+  }
+}
+
+TEST(FeatureExtractor, ForecastHorizonSurvivesHostileRuntimes) {
+  // Regression: runtime_min was cast straight to size_t for the forecast
+  // horizon; a negative or NaN value wrapped to a huge allocation. Now it
+  // is clamped to [0, two weeks].
+  const sim::Trace& trace = shared_tiny_trace();
+  FeatureSpec spec{.mask = kFeatTpCur};
+  spec.forecast_current_run = true;
+  const FeatureExtractor fx(trace, spec);
+  sim::RunNodeSample s = trace.samples[5];
+  std::vector<float> out(fx.dim());
+  for (const float rt : {-1.0f, -1e9f, std::nanf(""), 1e30f}) {
+    s.runtime_min = rt;
+    ASSERT_NO_THROW(fx.extract(s, out)) << "runtime_min=" << rt;
+    for (const float v : out) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
 TEST(FeatureExtractor, HistoryOnlySeesPastObservations) {
   const sim::Trace& trace = shared_tiny_trace();
   const FeatureExtractor fx(trace, {.mask = kGroupHist});

@@ -50,6 +50,67 @@ TEST(FeatureBinner, ConstantFeatureGetsOneBin) {
   EXPECT_EQ(binner.code(0, -100.0f), 0);
 }
 
+TEST(FeatureBinner, ConstantFeatureIsNeverSplitOn) {
+  // Feature 0 is constant (1 bin, 0 edges): the tree has no edge to split
+  // on, so all gain must land on the informative feature 1.
+  Dataset d;
+  d.X = Matrix(2'000, 2);
+  Rng rng(21);
+  for (std::size_t i = 0; i < d.X.rows(); ++i) {
+    d.X.at(i, 0) = 7.0f;
+    d.X.at(i, 1) = static_cast<float>(rng.uniform(-5.0, 5.0));
+    d.y.push_back(d.X.at(i, 1) > 0.5f ? 1 : 0);
+  }
+  GradientBoostedTrees::Params params;
+  params.trees = 15;
+  params.pos_weight = 1.0;
+  GradientBoostedTrees gbdt(params, 6);
+  gbdt.fit(d);
+  const auto imp = gbdt.feature_importance();
+  EXPECT_DOUBLE_EQ(imp[0], 0.0);
+  EXPECT_GT(imp[1], 0.0);
+}
+
+TEST(FeatureBinner, AllDuplicateValuesCollapseToFewBins) {
+  // Values drawn from {1, 2, 3} only: at most 2 edges survive dedup, and
+  // every duplicate of a value maps to the same code.
+  Matrix X(1'000, 1);
+  Rng rng(13);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    X.at(r, 0) = static_cast<float>(1 + rng.uniform_index(3));
+  }
+  FeatureBinner binner;
+  binner.fit(X, 64);
+  EXPECT_LE(binner.bins(0), 3u);
+  EXPECT_GE(binner.bins(0), 2u);
+  const std::uint8_t c1 = binner.code(0, 1.0f);
+  const std::uint8_t c2 = binner.code(0, 2.0f);
+  const std::uint8_t c3 = binner.code(0, 3.0f);
+  EXPECT_LT(c1, c3);
+  EXPECT_LE(c1, c2);
+  EXPECT_LE(c2, c3);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const float v = X.at(r, 0);
+    EXPECT_EQ(binner.code(0, v), v == 1.0f ? c1 : (v == 2.0f ? c2 : c3));
+  }
+}
+
+TEST(FeatureBinner, EdgeRoundTripMatchesTreePredictConvention) {
+  // Tree::predict routes x[f] <= threshold to the left child, where
+  // threshold == upper_edge(best_code). So a value equal to an edge must
+  // code into that edge's bin, and anything strictly above must not.
+  Matrix X = random_matrix(5'000, 1, 17);
+  FeatureBinner binner;
+  binner.fit(X, 32);
+  ASSERT_GE(binner.bins(0), 2u);
+  for (std::uint8_t c = 0; c + 1u < binner.bins(0); ++c) {
+    const float edge = binner.upper_edge(0, c);
+    EXPECT_EQ(binner.code(0, edge), c) << "edge " << edge;
+    const float above = std::nextafter(edge, 1e30f);
+    EXPECT_GT(binner.code(0, above), c) << "just above edge " << edge;
+  }
+}
+
 TEST(FeatureBinner, TransformMatchesPerValueCodes) {
   Matrix X = random_matrix(200, 2, 3);
   FeatureBinner binner;

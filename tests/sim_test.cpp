@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <unordered_map>
 
+#include "common/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_io.hpp"
 #include "support/test_trace.hpp"
@@ -241,6 +243,78 @@ TEST(TraceIo, CachedSimulateHitsCache) {
   const Trace second = cached_simulate(cfg, dir);  // served from disk
   EXPECT_EQ(first.samples.size(), second.samples.size());
   EXPECT_EQ(first.sbe_log.events().size(), second.sbe_log.events().size());
+}
+
+TEST(TraceIo, DifferentConfigsGetDistinctCacheEntries) {
+  // Cache filenames are keyed on the full-config fingerprint: two configs
+  // that differ in any generative field must never share an entry.
+  SimConfig a = SimConfig::testing(2, 92);
+  SimConfig b = a;
+  b.thermal.load_gain_c += 1.0;  // one thermal field differs
+  const std::string dir = ::testing::TempDir() + "trace_cache_distinct";
+  std::filesystem::remove_all(dir);
+  (void)cached_simulate(a, dir);
+  (void)cached_simulate(b, dir);
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    entries += e.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(entries, 2u);
+  EXPECT_NE(config_fingerprint(a), config_fingerprint(b));
+  // And each entry loads back under its own config without resimulating
+  // (still exactly two files afterwards).
+  const Trace ta = cached_simulate(a, dir);
+  const Trace tb = cached_simulate(b, dir);
+  EXPECT_GT(ta.samples.size(), 0u);
+  EXPECT_GT(tb.samples.size(), 0u);
+  entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    entries += e.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(entries, 2u);
+}
+
+TEST(Simulator, TraceIsBitwiseInvariantAcrossThreadCounts) {
+  // The tentpole determinism contract, end to end: the telemetry loops run
+  // on per-node RNG streams with static chunking, so the whole trace is
+  // identical no matter how many threads execute it.
+  SimConfig cfg = SimConfig::testing(/*test_days=*/4, /*test_seed=*/55);
+  cfg.probe_nodes = {1, 5};
+
+  set_parallel_threads(1);
+  const Trace serial = simulate(cfg);
+  set_parallel_threads(4);
+  const Trace threaded = simulate(cfg);
+  set_parallel_threads(1);
+
+  ASSERT_EQ(serial.samples.size(), threaded.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    const RunNodeSample& x = serial.samples[i];
+    const RunNodeSample& y = threaded.samples[i];
+    ASSERT_EQ(x.run, y.run);
+    ASSERT_EQ(x.node, y.node);
+    ASSERT_EQ(x.sbe_count, y.sbe_count);
+    // EXPECT_EQ on floats is intentional: bitwise, not approximate.
+    ASSERT_EQ(x.run_gpu_temp.mean, y.run_gpu_temp.mean);
+    ASSERT_EQ(x.run_gpu_temp.std, y.run_gpu_temp.std);
+    ASSERT_EQ(x.run_gpu_power.mean, y.run_gpu_power.mean);
+    ASSERT_EQ(x.run_cpu_temp.mean, y.run_cpu_temp.mean);
+    ASSERT_EQ(x.slot_gpu_temp.mean, y.slot_gpu_temp.mean);
+    ASSERT_EQ(x.expected_sbe, y.expected_sbe);
+  }
+  ASSERT_EQ(serial.sbe_log.events().size(), threaded.sbe_log.events().size());
+  for (std::size_t e = 0; e < serial.sbe_log.events().size(); ++e) {
+    EXPECT_EQ(serial.sbe_log.events()[e].count,
+              threaded.sbe_log.events()[e].count);
+    EXPECT_EQ(serial.sbe_log.events()[e].node,
+              threaded.sbe_log.events()[e].node);
+  }
+  ASSERT_EQ(serial.probes.size(), threaded.probes.size());
+  for (std::size_t p = 0; p < serial.probes.size(); ++p) {
+    EXPECT_EQ(serial.probes[p].gpu_temp, threaded.probes[p].gpu_temp);
+    EXPECT_EQ(serial.probes[p].gpu_power, threaded.probes[p].gpu_power);
+    EXPECT_EQ(serial.probes[p].cpu_temp, threaded.probes[p].cpu_temp);
+  }
 }
 
 }  // namespace
