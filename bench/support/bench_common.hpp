@@ -8,9 +8,15 @@
 // benches load it in under a second.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "core/evaluation.hpp"
 #include "core/sample_index.hpp"
 #include "core/splits.hpp"
@@ -20,6 +26,69 @@
 namespace repro::bench {
 
 inline constexpr std::int64_t kPaperDays = 102;
+
+/// Whether the last paper_trace() call loaded from the disk cache (true)
+/// or had to simulate (false). Meaningful only after paper_trace() ran.
+inline bool& paper_trace_cache_hit() {
+  static bool hit = false;
+  return hit;
+}
+
+/// Machine-readable bench artifact: accumulates key/value metrics and
+/// writes `BENCH_<name>.json` into the working directory on write().
+/// Dotted keys ("gbdt.fit_seconds") are kept flat; consumers split on '.'.
+/// write() stamps wall-clock since construction, the effective thread
+/// count, and whether the paper trace came from the disk cache, so perf
+/// trajectories can be compared run-over-run.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void set_string(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  [[nodiscard]] std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the artifact; returns the path written.
+  std::string write() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::ofstream out(path(), std::ios::trunc);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n";
+    out << "  \"threads\": " << parallel_threads() << ",\n";
+    out << "  \"trace_cache_hit\": "
+        << (paper_trace_cache_hit() ? "true" : "false") << ",\n";
+    char wall_buf[64];
+    std::snprintf(wall_buf, sizeof(wall_buf), "%.3f", wall);
+    out << "  \"wall_seconds\": " << wall_buf;
+    for (const auto& [key, value] : entries_) {
+      out << ",\n  \"" << key << "\": " << value;
+    }
+    out << "\n}\n";
+    std::fprintf(stderr, "[bench] wrote %s\n", path().c_str());
+    return path();
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 inline sim::SimConfig paper_config() {
   sim::SimConfig cfg;
@@ -36,6 +105,8 @@ inline const sim::Trace& paper_trace() {
     std::fprintf(stderr,
                  "[bench] loading/simulating the 102-day scaled-Titan trace "
                  "(cache: bench_cache/)...\n");
+    paper_trace_cache_hit() =
+        std::filesystem::exists(sim::cache_path(paper_config(), "bench_cache"));
     return sim::cached_simulate(paper_config(), "bench_cache");
   }();
   return trace;

@@ -43,24 +43,33 @@ void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
 std::vector<float> TwoStagePredictor::predict_proba(
     const sim::Trace& trace, std::span<const std::size_t> idx) const {
   REPRO_CHECK_MSG(trained(), "predict before train");
-  std::vector<float> out(idx.size());
-  // Samples are independent; each chunk owns a feature-row buffer and
-  // writes disjoint output slots.
-  parallel_for_chunks(
-      idx.size(), 128,
-      [&](std::size_t, std::size_t begin, std::size_t end) {
-        std::vector<float> row(extractor_->dim());
-        for (std::size_t k = begin; k < end; ++k) {
-          const sim::RunNodeSample& s = trace.samples[idx[k]];
-          if (!offender_mask_[static_cast<std::size_t>(s.node)]) {
-            out[k] = 0.0f;  // stage-1 reject: predicted SBE-free
-            continue;
-          }
-          extractor_->extract(s, row);
-          scaler_.transform_row(row);
-          out[k] = model_->predict_proba(row);
-        }
-      });
+  std::vector<float> out(idx.size(), 0.0f);
+  // Stage 1 filters to offender nodes; everything else is predicted
+  // SBE-free (proba 0) without touching the model.
+  std::vector<std::size_t> accepted;
+  accepted.reserve(idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const sim::RunNodeSample& s = trace.samples[idx[k]];
+    if (offender_mask_[static_cast<std::size_t>(s.node)]) {
+      accepted.push_back(k);
+    }
+  }
+  if (accepted.empty()) return out;
+  // Stage 2 is batched: extract + scale every accepted sample's feature
+  // row (disjoint writes), then one predict_proba_many call so models with
+  // fast batched inference get contiguous rows.
+  ml::Matrix features(accepted.size(), extractor_->dim());
+  parallel_for(accepted.size(), 128, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto row = features.row(i);
+      extractor_->extract(trace.samples[idx[accepted[i]]], row);
+      scaler_.transform_row(row);
+    }
+  });
+  const std::vector<float> proba = model_->predict_proba_many(features);
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    out[accepted[i]] = proba[i];
+  }
   return out;
 }
 

@@ -85,10 +85,111 @@ std::vector<std::uint8_t> FeatureBinner::transform(const Matrix& X) const {
   return codes;
 }
 
+BinnedColumns FeatureBinner::transform_columns(const Matrix& X) const {
+  REPRO_CHECK_MSG(X.cols() == edges_.size(), "binner width mismatch");
+  BinnedColumns binned;
+  binned.rows = X.rows();
+  binned.features = X.cols();
+  binned.codes.resize(binned.rows * binned.features);
+  binned.offsets.resize(binned.features + 1);
+  std::uint32_t offset = 0;
+  for (std::size_t f = 0; f < binned.features; ++f) {
+    binned.offsets[f] = offset;
+    const std::size_t nbins = bins(f);
+    if (nbins >= 2) offset += static_cast<std::uint32_t>(nbins);
+  }
+  binned.offsets[binned.features] = offset;
+  // Columns are disjoint write ranges; one chunk per feature.
+  parallel_for(binned.features, 1, [&](std::size_t f_begin, std::size_t f_end) {
+    for (std::size_t f = f_begin; f < f_end; ++f) {
+      std::uint8_t* col = binned.codes.data() + f * binned.rows;
+      for (std::size_t r = 0; r < binned.rows; ++r) {
+        col[r] = code(f, X.at(r, f));
+      }
+    }
+  });
+  return binned;
+}
+
 namespace {
+
 inline float sigmoidf(float z) noexcept {
   return 1.0f / (1.0f + std::exp(-z));
 }
+
+// Per-level histogram chunking: the chunk-count cap bounds scratch memory;
+// the grain grows with the node's row count instead (both depend only on
+// the data, never on the thread count).
+constexpr std::size_t kMaxHistChunks = 16;
+constexpr std::size_t kMinHistGrain = 4096;
+
+// Accumulates the gradient/hessian histogram of rows[begin, end) into
+// `hist` (interleaved: hist[2b] = sum g, hist[2b+1] = sum h over packed bin
+// b) and their plain sums into G/H. Feature-outer: each splittable
+// feature's packed slice stays cache-resident while its code column is
+// gathered in ascending row order (partitioning is stable, so every node's
+// slice of the row-index buffer stays sorted).
+void accumulate_hist(const BinnedColumns& binned,
+                     const std::size_t* rows, std::size_t count,
+                     const float* grad, const float* hess,
+                     std::vector<double>& hist, double& G, double& H) {
+  double g_sum = 0.0, h_sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    g_sum += grad[rows[i]];
+    h_sum += hess[rows[i]];
+  }
+  G = g_sum;
+  H = h_sum;
+  for (std::size_t f = 0; f < binned.features; ++f) {
+    if (binned.offsets[f + 1] == binned.offsets[f]) continue;
+    const std::uint8_t* col = binned.column(f);
+    double* slice = hist.data() + 2 * binned.offsets[f];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t r = rows[i];
+      double* cell = slice + 2 * col[r];
+      cell[0] += grad[r];
+      cell[1] += hess[r];
+    }
+  }
+}
+
+// Full histogram of rows[begin, end): chunked over rows with per-chunk
+// partials merged in ascending chunk order (fixed-order reduction), so the
+// sums are bit-identical for any thread count.
+void build_hist(const BinnedColumns& binned, const std::vector<std::size_t>& row_index,
+                std::size_t begin, std::size_t end,
+                const std::vector<float>& grad, const std::vector<float>& hess,
+                std::vector<double>& hist, double& G, double& H) {
+  const std::size_t count = end - begin;
+  const std::size_t width = 2 * binned.total_bins();
+  hist.assign(width, 0.0);
+  G = 0.0;
+  H = 0.0;
+  if (count == 0) return;
+  const std::size_t grain =
+      chunk_grain_for(count, kMinHistGrain, kMaxHistChunks);
+  const std::size_t nchunks = chunk_count(count, grain);
+  if (nchunks == 1) {
+    accumulate_hist(binned, row_index.data() + begin, count, grad.data(),
+                    hess.data(), hist, G, H);
+    return;
+  }
+  std::vector<std::vector<double>> partial(nchunks);
+  std::vector<double> partial_G(nchunks, 0.0), partial_H(nchunks, 0.0);
+  parallel_for_chunks(
+      count, grain, [&](std::size_t c, std::size_t c_begin, std::size_t c_end) {
+        partial[c].assign(width, 0.0);
+        accumulate_hist(binned, row_index.data() + begin + c_begin,
+                        c_end - c_begin, grad.data(), hess.data(), partial[c],
+                        partial_G[c], partial_H[c]);
+      });
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    for (std::size_t i = 0; i < width; ++i) hist[i] += partial[c][i];
+    G += partial_G[c];
+    H += partial_H[c];
+  }
+}
+
 }  // namespace
 
 float GradientBoostedTrees::Tree::predict(
@@ -102,157 +203,205 @@ float GradientBoostedTrees::Tree::predict(
   return nodes[static_cast<std::size_t>(i)].value;
 }
 
+float GradientBoostedTrees::Tree::predict_binned(
+    const BinnedColumns& binned, std::size_t row) const noexcept {
+  std::int32_t i = 0;
+  while (nodes[static_cast<std::size_t>(i)].feature >= 0) {
+    const Node& n = nodes[static_cast<std::size_t>(i)];
+    const std::uint8_t c =
+        binned.column(static_cast<std::size_t>(n.feature))[row];
+    i = c <= n.code ? n.left : n.right;
+  }
+  return nodes[static_cast<std::size_t>(i)].value;
+}
+
 GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
-    const std::vector<std::uint8_t>& codes, std::size_t d,
-    const std::vector<std::size_t>& rows, const std::vector<float>& grad,
-    const std::vector<float>& hess) {
+    const BinnedColumns& binned, std::vector<std::size_t>& row_index,
+    const std::vector<float>& grad, const std::vector<float>& hess,
+    std::vector<LeafRange>& leaves) {
   Tree tree;
-  struct Frontier {
-    std::int32_t node;
-    std::vector<std::size_t> rows;
-  };
-
   tree.nodes.push_back({});
-  std::vector<Frontier> level;
-  level.push_back({0, rows});
+  leaves.clear();
 
-  constexpr std::size_t kBins = 256;
-  // Row chunks accumulate private histograms that are merged in ascending
-  // chunk order, so the sums are bit-identical for any thread count. The
-  // chunk-count cap bounds scratch memory; the grain grows with the node's
-  // row count instead (both depend only on the data, never on threads).
-  constexpr std::size_t kMaxHistChunks = 16;
-  constexpr std::size_t kMinHistGrain = 4096;
-  struct HistChunk {
-    std::vector<double> hg, hh;
+  // One frontier entry per tree node still growing. Children of one split
+  // are adjacent (2p, 2p+1), and the left child carries the parent's
+  // histogram and G/H so its sibling can be derived by subtraction.
+  struct BuildNode {
+    std::int32_t node = 0;
+    std::size_t begin = 0, end = 0;      // range in row_index
+    std::vector<double> hist;            // interleaved (g, h) per packed bin
     double G = 0.0, H = 0.0;
+    std::vector<double> parent_hist;     // left child of a pair only
+    double parent_G = 0.0, parent_H = 0.0;
+    std::int32_t best_f = -1;
+    std::uint8_t best_code = 0;
+    double best_gain = 0.0;
   };
-  std::vector<HistChunk> scratch(kMaxHistChunks);
 
-  for (std::size_t depth = 0; depth < params_.max_depth && !level.empty();
-       ++depth) {
-    std::vector<Frontier> next;
-    for (Frontier& fr : level) {
-      if (fr.rows.empty()) {
-        tree.nodes[static_cast<std::size_t>(fr.node)].value = 0.0f;
-        continue;
-      }
-      // Gradient/hessian histograms for this node, chunked over its rows.
-      const std::size_t grain =
-          chunk_grain_for(fr.rows.size(), kMinHistGrain, kMaxHistChunks);
-      const std::size_t nchunks = chunk_count(fr.rows.size(), grain);
-      parallel_for_chunks(
-          fr.rows.size(), grain,
-          [&](std::size_t c, std::size_t begin, std::size_t end) {
-            HistChunk& hc = scratch[c];
-            if (hc.hg.empty()) {
-              hc.hg.resize(d * kBins);
-              hc.hh.resize(d * kBins);
-            }
-            std::fill(hc.hg.begin(), hc.hg.end(), 0.0);
-            std::fill(hc.hh.begin(), hc.hh.end(), 0.0);
-            hc.G = 0.0;
-            hc.H = 0.0;
-            for (std::size_t i = begin; i < end; ++i) {
-              const std::size_t r = fr.rows[i];
-              const std::uint8_t* row_codes = codes.data() + r * d;
-              const double g = grad[r], h = hess[r];
-              hc.G += g;
-              hc.H += h;
-              for (std::size_t f = 0; f < d; ++f) {
-                const std::size_t idx = f * kBins + row_codes[f];
-                hc.hg[idx] += g;
-                hc.hh[idx] += h;
-              }
-            }
-          });
-      std::vector<double>& hg = scratch[0].hg;
-      std::vector<double>& hh = scratch[0].hh;
-      double G = scratch[0].G, H = scratch[0].H;
-      for (std::size_t c = 1; c < nchunks; ++c) {
-        const HistChunk& hc = scratch[c];
-        for (std::size_t i = 0; i < d * kBins; ++i) {
-          hg[i] += hc.hg[i];
-          hh[i] += hc.hh[i];
+  const double lambda = params_.lambda;
+  const auto leaf_value = [&](double G, double H) {
+    return static_cast<float>(-G / (H + lambda) * params_.learning_rate);
+  };
+
+  // Finds the best split of one frontier node from its packed histogram.
+  // Serial per node with fixed (feature, bin) scan order and strict
+  // improvement, so ties break identically for any thread count.
+  const auto find_best_split = [&](BuildNode& bn) {
+    const double parent_obj = bn.G * bn.G / (bn.H + lambda);
+    bn.best_gain = params_.gamma;
+    bn.best_f = -1;
+    for (std::size_t f = 0; f < binned.features; ++f) {
+      const std::size_t width = binned.offsets[f + 1] - binned.offsets[f];
+      if (width < 2) continue;
+      const double* slice = bn.hist.data() + 2 * binned.offsets[f];
+      double GL = 0.0, HL = 0.0;
+      for (std::size_t c = 0; c + 1 < width; ++c) {
+        GL += slice[2 * c];
+        HL += slice[2 * c + 1];
+        const double HR = bn.H - HL;
+        if (HL < params_.min_child_hessian ||
+            HR < params_.min_child_hessian) {
+          continue;
         }
-        G += hc.G;
-        H += hc.H;
-      }
-
-      const double lambda = params_.lambda;
-      const double parent_obj = G * G / (H + lambda);
-      double best_gain = params_.gamma;
-      std::int32_t best_f = -1;
-      std::uint8_t best_code = 0;
-      for (std::size_t f = 0; f < d; ++f) {
-        const std::size_t nbins = binner_.bins(f);
-        if (nbins < 2) continue;
-        double GL = 0.0, HL = 0.0;
-        for (std::size_t c = 0; c + 1 < nbins; ++c) {
-          GL += hg[f * kBins + c];
-          HL += hh[f * kBins + c];
-          const double HR = H - HL;
-          if (HL < params_.min_child_hessian ||
-              HR < params_.min_child_hessian) {
-            continue;
-          }
-          const double GR = G - GL;
-          const double gain = 0.5 * (GL * GL / (HL + lambda) +
-                                     GR * GR / (HR + lambda) - parent_obj);
-          if (gain > best_gain) {
-            best_gain = gain;
-            best_f = static_cast<std::int32_t>(f);
-            best_code = static_cast<std::uint8_t>(c);
-          }
+        const double GR = bn.G - GL;
+        const double gain = 0.5 * (GL * GL / (HL + lambda) +
+                                   GR * GR / (HR + lambda) - parent_obj);
+        if (gain > bn.best_gain) {
+          bn.best_gain = gain;
+          bn.best_f = static_cast<std::int32_t>(f);
+          bn.best_code = static_cast<std::uint8_t>(c);
         }
       }
-
-      Node& node = tree.nodes[static_cast<std::size_t>(fr.node)];
-      if (best_f < 0) {
-        node.value = static_cast<float>(-G / (H + lambda) *
-                                        params_.learning_rate);
-        continue;
-      }
-      node.feature = best_f;
-      node.threshold =
-          binner_.upper_edge(static_cast<std::size_t>(best_f), best_code);
-      node.gain = best_gain;
-
-      Frontier left, right;
-      left.node = static_cast<std::int32_t>(tree.nodes.size());
-      right.node = left.node + 1;
-      node.left = left.node;
-      node.right = right.node;
-      tree.nodes.push_back({});
-      tree.nodes.push_back({});
-      for (const std::size_t r : fr.rows) {
-        const std::uint8_t c =
-            codes[r * d + static_cast<std::size_t>(best_f)];
-        (c <= best_code ? left.rows : right.rows).push_back(r);
-      }
-      fr.rows.clear();
-      fr.rows.shrink_to_fit();
-      next.push_back(std::move(left));
-      next.push_back(std::move(right));
     }
+  };
+
+  std::vector<BuildNode> level(1);
+  level[0].node = 0;
+  level[0].begin = 0;
+  level[0].end = row_index.size();
+
+  for (std::size_t depth = 0; !level.empty(); ++depth) {
+    if (depth >= params_.max_depth) {
+      // Depth limit: every frontier node becomes a leaf. Only G/H are
+      // needed, so sum rows directly instead of building histograms.
+      // Nodes are independent; each node's row sum stays serial.
+      parallel_for(level.size(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          BuildNode& bn = level[i];
+          double G = 0.0, H = 0.0;
+          for (std::size_t k = bn.begin; k < bn.end; ++k) {
+            G += grad[row_index[k]];
+            H += hess[row_index[k]];
+          }
+          bn.G = G;
+          bn.H = H;
+        }
+      });
+      for (const BuildNode& bn : level) {
+        const float value = leaf_value(bn.G, bn.H);
+        tree.nodes[static_cast<std::size_t>(bn.node)].value = value;
+        leaves.push_back({bn.begin, bn.end, value});
+      }
+      break;
+    }
+
+    // Phase 1 — histograms + split search. The root builds directly; every
+    // later level works per sibling pair: build the smaller child from its
+    // rows, derive the larger as parent - smaller (halving histogram work).
+    // Pairs are independent; nested chunked builds run inline with
+    // unchanged chunk grids, so results do not depend on the fan-out.
+    if (depth == 0) {
+      build_hist(binned, row_index, level[0].begin, level[0].end, grad, hess,
+                 level[0].hist, level[0].G, level[0].H);
+      find_best_split(level[0]);
+    } else {
+      parallel_for(level.size() / 2, 1, [&](std::size_t p_begin, std::size_t p_end) {
+        for (std::size_t p = p_begin; p < p_end; ++p) {
+          BuildNode& left = level[2 * p];
+          BuildNode& right = level[2 * p + 1];
+          const bool left_smaller =
+              left.end - left.begin <= right.end - right.begin;
+          BuildNode& small = left_smaller ? left : right;
+          BuildNode& large = left_smaller ? right : left;
+          build_hist(binned, row_index, small.begin, small.end, grad, hess,
+                     small.hist, small.G, small.H);
+          large.hist = std::move(left.parent_hist);
+          for (std::size_t i = 0; i < large.hist.size(); ++i) {
+            large.hist[i] -= small.hist[i];
+          }
+          large.G = left.parent_G - small.G;
+          large.H = left.parent_H - small.H;
+          find_best_split(left);
+          find_best_split(right);
+        }
+      });
+    }
+
+    // Phase 2 — serial: materialize leaves and allocate children so tree
+    // node ids and frontier order are scheduling-independent.
+    std::vector<BuildNode> next;
+    std::vector<std::size_t> splitting;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      BuildNode& bn = level[i];
+      Node& node = tree.nodes[static_cast<std::size_t>(bn.node)];
+      if (bn.best_f < 0) {
+        node.value = leaf_value(bn.G, bn.H);
+        leaves.push_back({bn.begin, bn.end, node.value});
+        continue;
+      }
+      node.feature = bn.best_f;
+      node.code = bn.best_code;
+      node.threshold =
+          binner_.upper_edge(static_cast<std::size_t>(bn.best_f), bn.best_code);
+      node.gain = bn.best_gain;
+      const auto left_id = static_cast<std::int32_t>(tree.nodes.size());
+      node.left = left_id;
+      node.right = left_id + 1;
+      // push_back may reallocate; `node` must not be touched after this.
+      tree.nodes.push_back({});
+      tree.nodes.push_back({});
+      BuildNode child_left, child_right;
+      child_left.node = left_id;
+      child_right.node = left_id + 1;
+      next.push_back(std::move(child_left));
+      next.push_back(std::move(child_right));
+      splitting.push_back(i);
+    }
+
+    // Phase 3 — in-place stable partition of each splitting node's slice of
+    // the shared index buffer. Slices are disjoint, order within each side
+    // is preserved, and the parent histogram moves to the left child for
+    // the next level's subtraction.
+    parallel_for(splitting.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) {
+        BuildNode& bn = level[splitting[k]];
+        const std::uint8_t* col =
+            binned.column(static_cast<std::size_t>(bn.best_f));
+        std::vector<std::size_t> spill;
+        spill.reserve((bn.end - bn.begin) / 2);
+        std::size_t write = bn.begin;
+        for (std::size_t i = bn.begin; i < bn.end; ++i) {
+          const std::size_t r = row_index[i];
+          if (col[r] <= bn.best_code) {
+            row_index[write++] = r;
+          } else {
+            spill.push_back(r);
+          }
+        }
+        std::copy(spill.begin(), spill.end(), row_index.begin() + static_cast<std::ptrdiff_t>(write));
+        BuildNode& child_left = next[2 * k];
+        BuildNode& child_right = next[2 * k + 1];
+        child_left.begin = bn.begin;
+        child_left.end = write;
+        child_right.begin = write;
+        child_right.end = bn.end;
+        child_left.parent_hist = std::move(bn.hist);
+        child_left.parent_G = bn.G;
+        child_left.parent_H = bn.H;
+      }
+    });
     level = std::move(next);
   }
-
-  // Depth limit reached: finalize any nodes still on the frontier. Nodes
-  // are independent; each node's row sum stays serial, so values are
-  // identical for any thread count.
-  parallel_for(level.size(), 1, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const Frontier& fr = level[i];
-      double G = 0.0, H = 0.0;
-      for (const std::size_t r : fr.rows) {
-        G += grad[r];
-        H += hess[r];
-      }
-      tree.nodes[static_cast<std::size_t>(fr.node)].value =
-          static_cast<float>(-G / (H + params_.lambda) * params_.learning_rate);
-    }
-  });
   return tree;
 }
 
@@ -265,7 +414,7 @@ void GradientBoostedTrees::fit(const Dataset& train) {
   trees_.clear();
 
   binner_.fit(train.X, params_.max_bins);
-  const std::vector<std::uint8_t> codes = binner_.transform(train.X);
+  const BinnedColumns binned = binner_.transform_columns(train.X);
 
   // Weighted prior log-odds.
   double wpos = 0.0, wtot = 0.0;
@@ -279,8 +428,10 @@ void GradientBoostedTrees::fit(const Dataset& train) {
 
   std::vector<float> score(n, base_score_);
   std::vector<float> grad(n), hess(n);
-  std::vector<std::size_t> all_rows(n);
-  std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+  std::vector<std::size_t> row_index;
+  row_index.reserve(n);
+  std::vector<std::uint8_t> in_sample(n, 0);
+  std::vector<LeafRange> leaves;
 
   for (std::size_t t = 0; t < params_.trees; ++t) {
     // Per-row gradients/hessians: disjoint writes, no accumulation.
@@ -295,23 +446,47 @@ void GradientBoostedTrees::fit(const Dataset& train) {
     });
     // Subsampling consumes the model's single Rng stream, so it must stay
     // serial: the draw sequence is part of the deterministic state.
-    std::vector<std::size_t> rows;
+    row_index.clear();
     if (params_.subsample < 1.0) {
-      rows.reserve(static_cast<std::size_t>(
-          params_.subsample * static_cast<double>(n) * 1.1));
       for (std::size_t r = 0; r < n; ++r) {
-        if (rng_.bernoulli(params_.subsample)) rows.push_back(r);
+        if (rng_.bernoulli(params_.subsample)) {
+          row_index.push_back(r);
+          in_sample[r] = 1;
+        }
       }
-      if (rows.empty()) rows = all_rows;
+      if (row_index.empty()) {
+        row_index.resize(n);
+        std::iota(row_index.begin(), row_index.end(), std::size_t{0});
+      }
     } else {
-      rows = all_rows;
+      row_index.resize(n);
+      std::iota(row_index.begin(), row_index.end(), std::size_t{0});
     }
-    Tree tree = build_tree(codes, d, rows, grad, hess);
-    parallel_for(n, 1024, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t r = begin; r < end; ++r) {
-        score[r] += tree.predict(train.X.row(r));
+    const std::size_t sampled = row_index.size();
+
+    Tree tree = build_tree(binned, row_index, grad, hess, leaves);
+
+    // In-subsample rows: their leaf is known from partitioning, so the
+    // update is an indexed lookup. Leaf ranges are disjoint slices.
+    parallel_for(leaves.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t li = b; li < e; ++li) {
+        const LeafRange& leaf = leaves[li];
+        for (std::size_t i = leaf.begin; i < leaf.end; ++i) {
+          score[row_index[i]] += leaf.value;
+        }
       }
     });
+    // Out-of-subsample rows route through the tree on binned codes (uint8
+    // compares; identical routing to the float path by the binner's
+    // value <= upper_edge(c) <=> code <= c property).
+    if (sampled < n) {
+      parallel_for(n, 4096, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          if (!in_sample[r]) score[r] += tree.predict_binned(binned, r);
+        }
+      });
+      for (std::size_t i = 0; i < sampled; ++i) in_sample[row_index[i]] = 0;
+    }
     trees_.push_back(std::move(tree));
   }
 }
@@ -323,6 +498,24 @@ float GradientBoostedTrees::predict_proba(std::span<const float> x) const {
   return sigmoidf(z);
 }
 
+std::vector<float> GradientBoostedTrees::predict_proba_many(
+    const Matrix& X) const {
+  REPRO_CHECK_MSG(X.cols() == features_, "feature width mismatch");
+  std::vector<float> out(X.rows(), base_score_);
+  // Tree-outer within each row block keeps one tree's nodes hot across the
+  // block. Per row the accumulation order is still tree 0..T, identical to
+  // predict_proba, so both paths agree bitwise.
+  parallel_for(X.rows(), 256, [&](std::size_t begin, std::size_t end) {
+    for (const Tree& t : trees_) {
+      for (std::size_t r = begin; r < end; ++r) {
+        out[r] += t.predict(X.row(r));
+      }
+    }
+    for (std::size_t r = begin; r < end; ++r) out[r] = sigmoidf(out[r]);
+  });
+  return out;
+}
+
 std::vector<double> GradientBoostedTrees::feature_importance() const {
   std::vector<double> imp(features_, 0.0);
   for (const Tree& t : trees_) {
@@ -331,6 +524,16 @@ std::vector<double> GradientBoostedTrees::feature_importance() const {
     }
   }
   return imp;
+}
+
+std::vector<std::pair<std::int32_t, float>> GradientBoostedTrees::tree_splits(
+    std::size_t t) const {
+  REPRO_CHECK(t < trees_.size());
+  std::vector<std::pair<std::int32_t, float>> out;
+  for (const Node& n : trees_[t].nodes) {
+    if (n.feature >= 0) out.emplace_back(n.feature, n.threshold);
+  }
+  return out;
 }
 
 }  // namespace repro::ml

@@ -4,22 +4,57 @@
 // Implementation: histogram-based regression trees boosted on the
 // second-order (Newton) approximation of the logistic loss, in the style of
 // LightGBM/XGBoost:
-//   - features are quantile-binned once into uint8 codes (<= 255 bins);
-//   - each tree grows depth-wise; per node, gradient/hessian histograms
-//     over the binned features give every candidate split in O(rows x
-//     features) per level;
+//   - features are quantile-binned once into uint8 codes (<= 255 bins),
+//     stored column-major with per-feature tight bin counts so histogram
+//     builds stream sequentially through one column at a time;
+//   - each tree grows depth-wise over one shared row-index buffer: a node
+//     is a contiguous [begin, end) range, and splitting stably partitions
+//     the range in place (no per-node row copies);
+//   - per node, gradient/hessian histograms over the binned features give
+//     every candidate split; only the smaller child of a split builds its
+//     histogram from rows — the sibling is derived by subtracting it from
+//     the cached parent histogram, halving per-level histogram work;
 //   - split gain = 1/2 [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)] - gamma;
-//   - leaf value = -G/(H+l) (one Newton step), scaled by the learning rate.
+//   - leaf value = -G/(H+l) (one Newton step), scaled by the learning rate;
+//   - training scores update by leaf-indexed lookup for in-subsample rows
+//     (their leaf is known from partitioning) and by uint8 binned-code
+//     traversal for rows outside the subsample.
+//
+// Determinism: all histogram merges use the fixed-order chunked reduction
+// of common/parallel.hpp, sibling derivation is a pure function of the
+// parent and the directly-built child, and every parallel phase writes
+// disjoint state — so fitted models are bit-identical for any
+// REPRO_THREADS (see DESIGN.md §6b).
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "ml/model.hpp"
 
 namespace repro::ml {
+
+/// Column-major binned view of a feature matrix with per-feature tight bin
+/// counts. `offsets` maps each feature to its slice of a packed histogram:
+/// feature f owns histogram bins [offsets[f], offsets[f+1]). Features that
+/// cannot split (fewer than 2 bins) get a zero-width slice so histograms
+/// never spend memory or bandwidth on them; their codes are still stored.
+struct BinnedColumns {
+  std::vector<std::uint8_t> codes;     ///< codes[f * rows + r]
+  std::vector<std::uint32_t> offsets;  ///< size features + 1
+  std::size_t rows = 0;
+  std::size_t features = 0;
+
+  /// Total packed histogram width (sum of splittable features' bin counts).
+  [[nodiscard]] std::size_t total_bins() const noexcept {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+  [[nodiscard]] const std::uint8_t* column(std::size_t f) const noexcept {
+    return codes.data() + f * rows;
+  }
+};
 
 /// Quantile binning of a float feature matrix into uint8 codes.
 class FeatureBinner {
@@ -42,6 +77,9 @@ class FeatureBinner {
 
   /// Binned copy of a matrix (row-major codes).
   [[nodiscard]] std::vector<std::uint8_t> transform(const Matrix& X) const;
+
+  /// Column-major binned copy with per-feature packed histogram offsets.
+  [[nodiscard]] BinnedColumns transform_columns(const Matrix& X) const;
 
  private:
   // edges_[f] are ascending interior cut points; bin count = edges+1.
@@ -68,6 +106,8 @@ class GradientBoostedTrees final : public Model {
 
   void fit(const Dataset& train) override;
   [[nodiscard]] float predict_proba(std::span<const float> x) const override;
+  [[nodiscard]] std::vector<float> predict_proba_many(
+      const Matrix& X) const override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "GBDT";
   }
@@ -79,6 +119,11 @@ class GradientBoostedTrees final : public Model {
     return trees_.size();
   }
 
+  /// (feature, threshold) of every split node of tree t, in node order.
+  /// Test/debug introspection for checking against reference engines.
+  [[nodiscard]] std::vector<std::pair<std::int32_t, float>> tree_splits(
+      std::size_t t) const;
+
  private:
   struct Node {
     std::int32_t feature = -1;   ///< -1 for leaves
@@ -86,17 +131,27 @@ class GradientBoostedTrees final : public Model {
     std::int32_t left = -1;
     std::int32_t right = -1;
     float value = 0.0f;          ///< leaf output
+    std::uint8_t code = 0;       ///< split bin: go left when code <= this
     double gain = 0.0;           ///< split gain (for importance)
   };
   struct Tree {
     std::vector<Node> nodes;
     [[nodiscard]] float predict(std::span<const float> x) const noexcept;
+    /// Same routing as predict but over binned codes (uint8 compares).
+    [[nodiscard]] float predict_binned(const BinnedColumns& binned,
+                                       std::size_t row) const noexcept;
+  };
+  /// A fitted leaf's contiguous slice of the shared row-index buffer.
+  struct LeafRange {
+    std::size_t begin = 0, end = 0;
+    float value = 0.0f;
   };
 
-  Tree build_tree(const std::vector<std::uint8_t>& codes, std::size_t d,
-                  const std::vector<std::size_t>& rows,
+  Tree build_tree(const BinnedColumns& binned,
+                  std::vector<std::size_t>& row_index,
                   const std::vector<float>& grad,
-                  const std::vector<float>& hess);
+                  const std::vector<float>& hess,
+                  std::vector<LeafRange>& leaves);
 
   Params params_;
   Rng rng_;

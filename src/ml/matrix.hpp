@@ -38,9 +38,18 @@ class Matrix {
   }
 
   /// Appends a row; the first appended row fixes cols for empty matrices.
+  /// Debug builds fail if a large matrix keeps reallocating without a
+  /// prior reserve_rows — callers growing row-by-row must size up front.
   void push_row(std::span<const float> row) {
     if (rows_ == 0 && cols_ == 0) cols_ = row.size();
     REPRO_CHECK_MSG(row.size() == cols_, "row width mismatch");
+#ifndef NDEBUG
+    if (data_.size() + row.size() > data_.capacity()) {
+      REPRO_CHECK_MSG(reserved_ || rows_ < kUnreservedGrowthRows,
+                      "push_row reallocating past " << kUnreservedGrowthRows
+                          << " rows — call reserve_rows first");
+    }
+#endif
     data_.insert(data_.end(), row.begin(), row.end());
     ++rows_;
   }
@@ -48,9 +57,18 @@ class Matrix {
   [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
   [[nodiscard]] std::span<float> flat() noexcept { return data_; }
 
-  void reserve_rows(std::size_t n) { data_.reserve(n * cols_); }
+  void reserve_rows(std::size_t n) {
+    data_.reserve(n * cols_);
+#ifndef NDEBUG
+    reserved_ = true;
+#endif
+  }
 
  private:
+#ifndef NDEBUG
+  static constexpr std::size_t kUnreservedGrowthRows = 4096;
+  bool reserved_ = false;
+#endif
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;

@@ -10,9 +10,9 @@
 
 namespace repro::ml {
 
-// Inference is const and rows are independent, so both batch helpers are
-// row-parallel with per-index writes.
-std::vector<float> Model::predict_proba_batch(const Matrix& X) const {
+// Inference is const and rows are independent, so the default batched path
+// is row-parallel with per-index writes.
+std::vector<float> Model::predict_proba_many(const Matrix& X) const {
   std::vector<float> out(X.rows());
   parallel_for(X.rows(), 64, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
@@ -24,12 +24,11 @@ std::vector<float> Model::predict_proba_batch(const Matrix& X) const {
 
 std::vector<Label> Model::predict_batch(const Matrix& X,
                                         float threshold) const {
-  std::vector<Label> out(X.rows());
-  parallel_for(X.rows(), 64, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      out[r] = predict_proba(X.row(r)) >= threshold ? 1 : 0;
-    }
-  });
+  const std::vector<float> proba = predict_proba_many(X);
+  std::vector<Label> out(proba.size());
+  for (std::size_t r = 0; r < proba.size(); ++r) {
+    out[r] = proba[r] >= threshold ? 1 : 0;
+  }
   return out;
 }
 

@@ -26,8 +26,16 @@ class Model {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
-  /// Batch helpers built on predict_proba.
-  [[nodiscard]] std::vector<float> predict_proba_batch(const Matrix& X) const;
+  /// P(y = 1 | x) for every row of X. The default fans predict_proba over
+  /// row chunks; models with cheaper batched inference (GBDT) override it.
+  /// Overrides must return bitwise the same values as the default.
+  [[nodiscard]] virtual std::vector<float> predict_proba_many(
+      const Matrix& X) const;
+
+  /// Batch helpers built on predict_proba_many.
+  [[nodiscard]] std::vector<float> predict_proba_batch(const Matrix& X) const {
+    return predict_proba_many(X);
+  }
   [[nodiscard]] std::vector<Label> predict_batch(const Matrix& X,
                                                  float threshold = 0.5f) const;
 };

@@ -160,9 +160,13 @@ void Svm::fit_smo(const Dataset& train) {
     passes = changed == 0 ? passes + 1 : 0;
   }
 
-  // Keep only support vectors.
+  // Keep only support vectors (counted first so the matrix is sized once).
+  std::size_t n_support = 0;
+  for (std::size_t i = 0; i < n; ++i) n_support += alpha[i] > 1e-9 ? 1 : 0;
   support_ = Matrix(0, input_dims_);
+  support_.reserve_rows(n_support);
   dual_coef_.clear();
+  dual_coef_.reserve(n_support);
   for (std::size_t i = 0; i < n; ++i) {
     if (alpha[i] > 1e-9) {
       support_.push_row(X.row(i));

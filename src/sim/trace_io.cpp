@@ -261,12 +261,16 @@ std::optional<Trace> load_trace(const SimConfig& config,
   return trace;
 }
 
-Trace cached_simulate(const SimConfig& config, const std::string& cache_dir) {
-  std::filesystem::create_directories(cache_dir);
+std::string cache_path(const SimConfig& config, const std::string& cache_dir) {
   char name[64];
   std::snprintf(name, sizeof(name), "trace_%016llx.bin",
                 static_cast<unsigned long long>(config_fingerprint(config)));
-  const std::string path = cache_dir + "/" + name;
+  return cache_dir + "/" + name;
+}
+
+Trace cached_simulate(const SimConfig& config, const std::string& cache_dir) {
+  std::filesystem::create_directories(cache_dir);
+  const std::string path = cache_path(config, cache_dir);
   if (auto loaded = load_trace(config, path)) return std::move(*loaded);
   Trace trace = simulate(config);
   save_trace(trace, config, path);

@@ -27,6 +27,9 @@ void save_trace(const Trace& trace, const SimConfig& config,
 std::optional<Trace> load_trace(const SimConfig& config,
                                 const std::string& path);
 
+/// Cache file path cached_simulate() would use for this config.
+std::string cache_path(const SimConfig& config, const std::string& cache_dir);
+
 /// load_trace or simulate-and-save. `cache_dir` must exist or be creatable.
 Trace cached_simulate(const SimConfig& config, const std::string& cache_dir);
 

@@ -8,9 +8,13 @@ RingSeries::RingSeries(std::size_t capacity) : buf_(capacity, 0.0f) {
   REPRO_CHECK(capacity > 0);
 }
 
+// The ring indices use conditional wrap instead of `%`: push/at_age run
+// once per telemetry sample in the per-minute simulator loop, and an
+// integer divide per sample is measurable there. Both forms are exact —
+// the operands are already within one capacity of the valid range.
 void RingSeries::push(float v) noexcept {
   buf_[head_] = v;
-  head_ = (head_ + 1) % buf_.size();
+  if (++head_ == buf_.size()) head_ = 0;
   if (size_ < buf_.size()) ++size_;
 }
 
@@ -21,12 +25,17 @@ void RingSeries::clear() noexcept {
 
 float RingSeries::back() const {
   REPRO_CHECK(size_ > 0);
-  return buf_[(head_ + buf_.size() - 1) % buf_.size()];
+  const std::size_t i = head_ == 0 ? buf_.size() - 1 : head_ - 1;
+  return buf_[i];
 }
 
 float RingSeries::at_age(std::size_t age) const {
   REPRO_CHECK(age < size_);
-  return buf_[(head_ + buf_.size() - 1 - age) % buf_.size()];
+  // head_ + capacity - 1 - age is in [0, 2 * capacity): one conditional
+  // subtraction replaces the modulo.
+  std::size_t i = head_ + buf_.size() - 1 - age;
+  if (i >= buf_.size()) i -= buf_.size();
+  return buf_[i];
 }
 
 FourStats RingSeries::stats_last(std::size_t window) const noexcept {

@@ -80,6 +80,7 @@ TEST(KMeansUndersample, PreservesClusterStructure) {
   Dataset d;
   d.X = blobs(150, 10);           // 450 negatives across 3 blobs
   Matrix pos_rows = blobs(10, 11);  // small positive set, anywhere
+  d.X.reserve_rows(d.X.rows() + pos_rows.rows());
   for (std::size_t r = 0; r < pos_rows.rows(); ++r) d.X.push_row(pos_rows.row(r));
   d.y.assign(450, 0);
   d.y.insert(d.y.end(), 30, 1);
