@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <concepts>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +22,7 @@
 #include "core/sample_index.hpp"
 #include "core/splits.hpp"
 #include "core/two_stage.hpp"
+#include "obs/obs.hpp"
 #include "sim/trace_io.hpp"
 
 namespace repro::bench {
@@ -34,42 +36,89 @@ inline bool& paper_trace_cache_hit() {
   return hit;
 }
 
+/// JSON string escaping for BenchJson keys and values (quotes, backslashes,
+/// and control characters — enough for the identifiers and paths we emit).
+inline std::string bench_json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Machine-readable bench artifact: accumulates key/value metrics and
 /// writes `BENCH_<name>.json` into the working directory on write().
 /// Dotted keys ("gbdt.fit_seconds") are kept flat; consumers split on '.'.
 /// write() stamps wall-clock since construction, the effective thread
-/// count, and whether the paper trace came from the disk cache, so perf
-/// trajectories can be compared run-over-run.
+/// count, and whether the paper trace came from the disk cache, merges the
+/// obs metrics snapshot under an "obs." prefix, and honors REPRO_TRACE so
+/// perf trajectories can be compared run-over-run.
+///
+/// Integer metrics go through set_int: a bare integral argument to set()
+/// was ambiguous between the size_t, bool, and double overloads (all one
+/// conversion away), so the integral overload is explicitly deleted.
 class BenchJson {
  public:
   explicit BenchJson(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    // Benches always collect metrics; trace capture stays opt-in via
+    // REPRO_TRACE (obs::init reads it on first use).
+    obs::set_enabled(true);
+  }
 
   void set(const std::string& key, double value) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.9g", value);
     entries_.emplace_back(key, buf);
   }
-  void set(const std::string& key, std::size_t value) {
-    entries_.emplace_back(key, std::to_string(value));
-  }
   void set(const std::string& key, bool value) {
     entries_.emplace_back(key, value ? "true" : "false");
   }
+  template <std::integral T>
+  void set(const std::string&, T) = delete;  // use set_int / set(bool)
+  template <std::integral T>
+  void set_int(const std::string& key, T value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
   void set_string(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, "\"" + value + "\"");
+    entries_.emplace_back(key, "\"" + bench_json_escape(value) + "\"");
   }
 
   [[nodiscard]] std::string path() const { return "BENCH_" + name_ + ".json"; }
 
-  /// Writes the artifact; returns the path written.
+  /// Writes the artifact; returns the path written. Also writes the Chrome
+  /// trace when REPRO_TRACE=<path> is set.
   std::string write() {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    // Snapshot after the measured work: counters come out integral, timer
+    // aggregates as *_seconds / *_calls pairs.
+    for (const obs::Metric& m : obs::snapshot()) {
+      if (m.integral) {
+        set_int("obs." + m.key, static_cast<long long>(m.count));
+      } else {
+        set("obs." + m.key, m.value);
+      }
+    }
     std::ofstream out(path(), std::ios::trunc);
-    out << "{\n  \"bench\": \"" << name_ << "\",\n";
+    out << "{\n  \"bench\": \"" << bench_json_escape(name_) << "\",\n";
     out << "  \"threads\": " << parallel_threads() << ",\n";
     out << "  \"trace_cache_hit\": "
         << (paper_trace_cache_hit() ? "true" : "false") << ",\n";
@@ -77,10 +126,11 @@ class BenchJson {
     std::snprintf(wall_buf, sizeof(wall_buf), "%.3f", wall);
     out << "  \"wall_seconds\": " << wall_buf;
     for (const auto& [key, value] : entries_) {
-      out << ",\n  \"" << key << "\": " << value;
+      out << ",\n  \"" << bench_json_escape(key) << "\": " << value;
     }
     out << "\n}\n";
     std::fprintf(stderr, "[bench] wrote %s\n", path().c_str());
+    obs::write_trace_if_requested();
     return path();
   }
 

@@ -5,10 +5,15 @@
 
 #include "common/table.hpp"
 #include "core/retraining.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 int main() {
   using namespace repro;
+  // Live pipeline counters (stage-1 survivor rates, per-phase seconds)
+  // come from the obs layer; REPRO_TRACE=<path> additionally dumps a
+  // chrome://tracing timeline of the whole run.
+  obs::set_enabled(true);
   sim::SimConfig config;
   config.system = {.grid_x = 10, .grid_y = 4, .cages_per_cabinet = 1,
                    .slots_per_cage = 4, .nodes_per_slot = 4};
@@ -43,5 +48,36 @@ int main() {
               "retraining folds the new offenders into stage 1.\n",
               static_cast<long long>(retrain.train_days),
               static_cast<long long>(retrain.period_days));
+
+  // Pipeline observability: what the run actually did, from the obs layer.
+  const auto obs_value = [](const char* key) -> double {
+    for (const auto& m : obs::snapshot()) {
+      if (m.key == key) return m.integral ? static_cast<double>(m.count)
+                                          : m.value;
+    }
+    return 0.0;
+  };
+  const double train_seen = obs_value("two_stage.train_samples_seen");
+  const double train_kept = obs_value("two_stage.train_stage1_survivors");
+  const double pred_seen = obs_value("two_stage.predict_samples_seen");
+  const double pred_kept = obs_value("two_stage.predict_stage1_survivors");
+  std::printf("\npipeline counters (all %zu retraining periods):\n",
+              periods.size());
+  std::printf("  stage-1 survivor rate: train %.1f%% (%.0f of %.0f),"
+              " predict %.1f%% (%.0f of %.0f)\n",
+              train_seen > 0 ? 100.0 * train_kept / train_seen : 0.0,
+              train_kept, train_seen,
+              pred_seen > 0 ? 100.0 * pred_kept / pred_seen : 0.0,
+              pred_kept, pred_seen);
+  std::printf("  phase seconds: simulate %.2f, featurize %.2f,"
+              " stage-2 fit %.2f, predict %.2f\n",
+              obs_value("sim.simulate_seconds"),
+              obs_value("two_stage.featurize_seconds"),
+              obs_value("two_stage.stage2_fit_seconds"),
+              obs_value("two_stage.predict_seconds"));
+  if (obs::write_trace_if_requested()) {
+    std::printf("  trace written to %s (open in chrome://tracing or"
+                " ui.perfetto.dev)\n", obs::trace_request_path().c_str());
+  }
   return 0;
 }

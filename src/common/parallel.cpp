@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace repro {
 
 namespace {
@@ -29,6 +31,11 @@ struct Job {
   const std::size_t chunks;
   const std::size_t helpers;        // workers allowed to join (main joins too)
   const std::function<void(std::size_t)>& fn;
+  // Observability label for this region: the innermost span open on the
+  // dispatching thread (nullptr when tracing is disabled). Every thread
+  // that drains chunks opens a span with this name on its own track, so
+  // fanned-out work nests under the region that spawned it.
+  const char* obs_region = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::size_t joined = 0;           // guarded by the pool mutex
@@ -43,6 +50,13 @@ class Pool {
     return pool;
   }
 
+  // Shared aggregation timer for every pool-side region span; the
+  // per-region trace-event name comes from the dispatching span instead.
+  static obs::Timer& region_timer() {
+    static obs::Timer& t = obs::timer("parallel.region");
+    return t;
+  }
+
   void run(std::size_t chunks, const std::function<void(std::size_t)>& fn) {
     // Serialize top-level dispatches; nested ones never get here (they run
     // inline in parallel_for_chunks).
@@ -50,6 +64,10 @@ class Pool {
     const std::size_t helpers = parallel_threads() - 1;
     ensure_workers(helpers);
     auto job = std::make_shared<Job>(chunks, helpers, fn);
+    if (obs::enabled()) {
+      const char* region = obs::current_span_name();
+      job->obs_region = region != nullptr ? region : "parallel_for";
+    }
     {
       std::lock_guard<std::mutex> lk(mutex_);
       job_ = job;
@@ -58,7 +76,12 @@ class Pool {
     // The dispatching thread works too; while it drains chunks it counts as
     // inside the region, so nested parallel calls from fn run inline.
     tl_in_worker = true;
-    drain(*job);
+    if (job->obs_region != nullptr) {
+      const obs::Span span(region_timer(), job->obs_region);
+      drain(*job);
+    } else {
+      drain(*job);
+    }
     tl_in_worker = false;
     {
       std::unique_lock<std::mutex> lk(mutex_);
@@ -85,7 +108,13 @@ class Pool {
   void ensure_workers(std::size_t want) {
     std::lock_guard<std::mutex> lk(mutex_);
     while (workers_.size() < want) {
-      workers_.emplace_back([this] { worker_loop(); });
+      // Worker k records onto trace track "worker-<k+1>" (0 is the main /
+      // dispatching thread); binding is an obs-side thread_local, so it
+      // costs nothing when tracing stays disabled.
+      workers_.emplace_back([this, id = workers_.size() + 1] {
+        obs::bind_worker(id);
+        worker_loop();
+      });
     }
   }
 
@@ -105,7 +134,12 @@ class Pool {
         ++job->joined;
       }
       last = job;
-      drain(*job);
+      if (job->obs_region != nullptr) {
+        const obs::Span span(region_timer(), job->obs_region);
+        drain(*job);
+      } else {
+        drain(*job);
+      }
     }
   }
 

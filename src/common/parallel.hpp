@@ -24,6 +24,13 @@
 // Nested parallel regions (a parallel_for issued from inside a pool worker,
 // e.g. a model fit inside a parallel model sweep) run inline serially;
 // chunk grids are unchanged, so nesting does not perturb results either.
+//
+// Observability (src/obs): when tracing is enabled, each pool worker is
+// bound to trace track "worker-<k>" and every thread draining a dispatched
+// region opens a span named after the innermost span on the dispatching
+// thread, so fanned-out work attributes to the right worker and nests
+// under the region that spawned it. With tracing disabled the only cost
+// per dispatch is one relaxed atomic load.
 #pragma once
 
 #include <cstddef>

@@ -4,6 +4,7 @@
 
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "obs/obs.hpp"
 #include "topology/topology.hpp"
 
 namespace repro::core {
@@ -18,6 +19,8 @@ std::vector<SweepCell> two_stage_sweep(const sim::Trace& trace,
   // write their own slot, so fanning them out cannot change any result.
   parallel_for(cells, 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t c = begin; c < end; ++c) {
+      OBS_SPAN("evaluation.sweep_cell");
+      OBS_COUNT("evaluation.sweep_cells");
       SweepCell& cell = out[c];
       cell.split = c / models.size();
       cell.model = models[c % models.size()];

@@ -1,5 +1,7 @@
 #include "core/retraining.hpp"
 
+#include "obs/obs.hpp"
+
 namespace repro::core {
 
 std::vector<RetrainingPeriod> run_retraining(const sim::Trace& trace,
@@ -11,6 +13,8 @@ std::vector<RetrainingPeriod> run_retraining(const sim::Trace& trace,
 
   for (std::int64_t at = config.warmup_days;
        at + config.period_days <= total_days; at += config.period_days) {
+    OBS_SPAN("retraining.period");
+    OBS_COUNT("retraining.periods");
     RetrainingPeriod period;
     period.train = {day_start(at - config.train_days), day_start(at)};
     period.test = {day_start(at), day_start(at + config.period_days)};

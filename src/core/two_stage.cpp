@@ -1,6 +1,7 @@
 #include "core/two_stage.hpp"
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace repro::core {
 
@@ -8,41 +9,55 @@ TwoStagePredictor::TwoStagePredictor(const TwoStageConfig& config)
     : config_(config) {}
 
 void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
-  // Stage 1: offender set = any SBE observed before the end of training.
-  offender_mask_ = trace.sbe_log.offender_mask(0, train_window.end);
-
-  // Stage 2: offender-node samples inside the training window.
+  OBS_SPAN("two_stage.train");
   extractor_ = std::make_unique<features::FeatureExtractor>(trace,
                                                             config_.features);
   std::vector<std::size_t> train_idx;
-  for (const std::size_t i : samples_in(trace, train_window)) {
-    if (offender_mask_[static_cast<std::size_t>(trace.samples[i].node)]) {
-      train_idx.push_back(i);
+  {
+    // Stage 1: offender set = any SBE observed before the end of training,
+    // then restrict to offender-node samples inside the training window.
+    OBS_SPAN("two_stage.stage1");
+    offender_mask_ = trace.sbe_log.offender_mask(0, train_window.end);
+    const std::vector<std::size_t> window_idx = samples_in(trace, train_window);
+    for (const std::size_t i : window_idx) {
+      if (offender_mask_[static_cast<std::size_t>(trace.samples[i].node)]) {
+        train_idx.push_back(i);
+      }
     }
+    OBS_COUNT_ADD("two_stage.train_samples_seen", window_idx.size());
+    OBS_COUNT_ADD("two_stage.train_stage1_survivors", train_idx.size());
   }
   REPRO_CHECK_MSG(!train_idx.empty(),
                   "no offender-node samples in the training window");
-  ml::Dataset train_set = extractor_->build(train_idx);
-  if (config_.undersample_ratio > 0.0) {
-    Rng rng(config_.seed ^ 0xBA1A4CEULL);
-    train_set =
-        ml::undersample_majority(train_set, config_.undersample_ratio, rng);
-  }
+  ml::Dataset train_set = [&] {
+    OBS_SPAN("two_stage.featurize");
+    ml::Dataset built = extractor_->build(train_idx);
+    if (config_.undersample_ratio > 0.0) {
+      Rng rng(config_.seed ^ 0xBA1A4CEULL);
+      built = ml::undersample_majority(built, config_.undersample_ratio, rng);
+    }
+    return built;
+  }();
   stage2_size_ = train_set.size();
 
   scaler_.fit(train_set.X);
   scaler_.transform_inplace(train_set.X);
 
   model_ = ml::make_model(config_.model, config_.seed);
-  const auto t0 = std::chrono::steady_clock::now();
+  // Table III's train_seconds: the fit wall-clock is always measured
+  // (Policy::kAlways keeps the clock running even with tracing off, so
+  // the reported field is byte-compatible with the old hand-rolled
+  // steady_clock site this span replaced).
+  static obs::Timer& fit_timer = obs::timer("two_stage.stage2_fit");
+  const obs::Span fit_span(fit_timer, obs::Span::Policy::kAlways);
   model_->fit(train_set);
-  const auto t1 = std::chrono::steady_clock::now();
-  train_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  train_seconds_ = fit_span.seconds();
 }
 
 std::vector<float> TwoStagePredictor::predict_proba(
     const sim::Trace& trace, std::span<const std::size_t> idx) const {
   REPRO_CHECK_MSG(trained(), "predict before train");
+  OBS_SPAN("two_stage.predict");
   std::vector<float> out(idx.size(), 0.0f);
   // Stage 1 filters to offender nodes; everything else is predicted
   // SBE-free (proba 0) without touching the model.
@@ -54,6 +69,8 @@ std::vector<float> TwoStagePredictor::predict_proba(
       accepted.push_back(k);
     }
   }
+  OBS_COUNT_ADD("two_stage.predict_samples_seen", idx.size());
+  OBS_COUNT_ADD("two_stage.predict_stage1_survivors", accepted.size());
   if (accepted.empty()) return out;
   // Stage 2 is batched: extract + scale every accepted sample's feature
   // row (disjoint writes), then one predict_proba_many call so models with
@@ -85,6 +102,7 @@ std::vector<ml::Label> TwoStagePredictor::predict(
 
 ml::ClassMetrics TwoStagePredictor::evaluate(const sim::Trace& trace,
                                              Interval test_window) const {
+  OBS_SPAN("two_stage.evaluate");
   const std::vector<std::size_t> idx = samples_in(trace, test_window);
   const std::vector<ml::Label> pred = predict(trace, idx);
   return evaluate_predictions(trace, idx, pred);

@@ -13,7 +13,6 @@
 // missed; periodic retraining (see RetrainingDriver) keeps that loss small.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>

@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "forecast/forecast.hpp"
+#include "obs/obs.hpp"
 
 namespace repro::features {
 
@@ -208,6 +209,8 @@ void FeatureExtractor::extract(const sim::RunNodeSample& s,
 
 ml::Dataset FeatureExtractor::build(
     std::span<const std::size_t> sample_idx) const {
+  OBS_SPAN("features.build");
+  OBS_COUNT_ADD("features.rows_built", sample_idx.size());
   ml::Dataset d;
   d.feature_names = names_;
   d.X = ml::Matrix(sample_idx.size(), dim());

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace repro::ml {
 
@@ -166,6 +167,7 @@ void build_hist(const BinnedColumns& binned, const std::vector<std::size_t>& row
   G = 0.0;
   H = 0.0;
   if (count == 0) return;
+  OBS_COUNT("gbdt.hist_builds");
   const std::size_t grain =
       chunk_grain_for(count, kMinHistGrain, kMaxHistChunks);
   const std::size_t nchunks = chunk_count(count, grain);
@@ -329,6 +331,7 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
           for (std::size_t i = 0; i < large.hist.size(); ++i) {
             large.hist[i] -= small.hist[i];
           }
+          OBS_COUNT("gbdt.hist_subtractions");
           large.G = left.parent_G - small.G;
           large.H = left.parent_H - small.H;
           find_best_split(left);
@@ -406,6 +409,7 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
 }
 
 void GradientBoostedTrees::fit(const Dataset& train) {
+  OBS_SPAN("gbdt.fit");
   train.validate();
   REPRO_CHECK_MSG(train.size() > 0, "empty training set");
   const std::size_t n = train.size();
@@ -413,8 +417,11 @@ void GradientBoostedTrees::fit(const Dataset& train) {
   features_ = d;
   trees_.clear();
 
-  binner_.fit(train.X, params_.max_bins);
-  const BinnedColumns binned = binner_.transform_columns(train.X);
+  const BinnedColumns binned = [&] {
+    OBS_SPAN("gbdt.bin");
+    binner_.fit(train.X, params_.max_bins);
+    return binner_.transform_columns(train.X);
+  }();
 
   // Weighted prior log-odds.
   double wpos = 0.0, wtot = 0.0;
@@ -465,6 +472,7 @@ void GradientBoostedTrees::fit(const Dataset& train) {
     const std::size_t sampled = row_index.size();
 
     Tree tree = build_tree(binned, row_index, grad, hess, leaves);
+    OBS_COUNT("gbdt.trees_built");
 
     // In-subsample rows: their leaf is known from partitioning, so the
     // update is an indexed lookup. Leaf ranges are disjoint slices.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace repro::ml {
 
 LogisticRegression::LogisticRegression(std::uint64_t seed) : LogisticRegression(Params{}, seed) {}
@@ -17,6 +19,7 @@ inline float sigmoid(float z) noexcept {
 }  // namespace
 
 void LogisticRegression::fit(const Dataset& train) {
+  OBS_SPAN("lr.fit");
   train.validate();
   REPRO_CHECK_MSG(train.size() > 0, "empty training set");
   const std::size_t d = train.features();

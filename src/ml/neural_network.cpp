@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace repro::ml {
 
@@ -41,6 +42,7 @@ void NeuralNetwork::forward(std::span<const float> x,
 }
 
 void NeuralNetwork::fit(const Dataset& train) {
+  OBS_SPAN("nn.fit");
   train.validate();
   REPRO_CHECK_MSG(train.size() > 0, "empty training set");
   const std::size_t d = train.features();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace repro::ml {
 
@@ -39,6 +40,7 @@ void Svm::lift(std::span<const float> x, std::span<float> out) const {
 }
 
 void Svm::fit(const Dataset& train) {
+  OBS_SPAN("svm.fit");
   train.validate();
   REPRO_CHECK_MSG(train.size() > 0, "empty training set");
   input_dims_ = train.features();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace repro::sim {
 
@@ -264,6 +265,7 @@ Trace Simulator::take_trace() && {
 }
 
 Trace simulate(const SimConfig& config) {
+  OBS_SPAN("sim.simulate");
   Simulator sim(config);
   sim.run_for(config.days * kMinutesPerDay);
   return std::move(sim).take_trace();

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace repro::sim {
 
@@ -271,8 +272,16 @@ std::string cache_path(const SimConfig& config, const std::string& cache_dir) {
 Trace cached_simulate(const SimConfig& config, const std::string& cache_dir) {
   std::filesystem::create_directories(cache_dir);
   const std::string path = cache_path(config, cache_dir);
-  if (auto loaded = load_trace(config, path)) return std::move(*loaded);
+  {
+    OBS_SPAN("sim.trace_cache_load");
+    if (auto loaded = load_trace(config, path)) {
+      OBS_COUNT("sim.trace_cache_hits");
+      return std::move(*loaded);
+    }
+  }
+  OBS_COUNT("sim.trace_cache_misses");
   Trace trace = simulate(config);
+  OBS_SPAN("sim.trace_cache_store");
   save_trace(trace, config, path);
   return trace;
 }

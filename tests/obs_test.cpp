@@ -1,0 +1,421 @@
+// Observability layer (src/obs): span nesting, counter aggregation across
+// pool workers, snapshot determinism, Chrome-trace export, and the guard
+// that tracing never perturbs pipeline results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/two_stage.hpp"
+#include "obs/obs.hpp"
+#include "support/bench_common.hpp"
+#include "support/test_trace.hpp"
+
+namespace repro {
+namespace {
+
+using repro::testing::shared_tiny_trace;
+
+// --- minimal JSON parser ------------------------------------------------------
+// Validates full JSON documents and decodes strings (including escapes), so
+// the Chrome trace and BENCH_*.json outputs can be checked for
+// well-formedness rather than by substring luck. Top-level scalar key/value
+// pairs land in `flat` (decoded), every decoded string in `strings`.
+
+struct JsonParser {
+  explicit JsonParser(std::string text) : s(std::move(text)) {}
+
+  const std::string s;
+  std::size_t i = 0;
+  std::vector<std::string> strings;
+  std::map<std::string, std::string> flat;
+
+  bool parse() {
+    ws();
+    if (!value(0)) return false;
+    ws();
+    return i == s.size();
+  }
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool lit(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++i) {
+      if (i >= s.size() || s[i] != *p) return false;
+    }
+    return true;
+  }
+  bool string(std::string* out) {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    std::string decoded;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (i + 4 > s.size()) return false;
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            c = static_cast<char>(code);  // ASCII escapes only in our output
+            break;
+          }
+          default: return false;
+        }
+      }
+      decoded += c;
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    strings.push_back(decoded);
+    if (out != nullptr) *out = decoded;
+    return true;
+  }
+  bool number(std::string* out) {
+    const std::size_t begin = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    std::size_t digits = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++digits;
+    if (digits == 0) return false;
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    }
+    if (out != nullptr) *out = s.substr(begin, i - begin);
+    return true;
+  }
+  bool value(int depth, std::string* scalar = nullptr) {
+    if (depth > 32 || i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return string(scalar);
+    if (c == 't') { if (!lit("true")) return false; if (scalar) *scalar = "true"; return true; }
+    if (c == 'f') { if (!lit("false")) return false; if (scalar) *scalar = "false"; return true; }
+    if (c == 'n') { if (!lit("null")) return false; if (scalar) *scalar = "null"; return true; }
+    return number(scalar);
+  }
+  bool object(int depth) {
+    ++i;  // '{'
+    ws();
+    if (i < s.size() && s[i] == '}') { ++i; return true; }
+    for (;;) {
+      ws();
+      std::string key;
+      if (!string(&key)) return false;
+      ws();
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      ws();
+      std::string scalar;
+      if (!value(depth + 1, &scalar)) return false;
+      if (depth == 0 && !scalar.empty()) flat[key] = scalar;
+      ws();
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      break;
+    }
+    if (i >= s.size() || s[i] != '}') return false;
+    ++i;
+    return true;
+  }
+  bool array(int depth) {
+    ++i;  // '['
+    ws();
+    if (i < s.size() && s[i] == ']') { ++i; return true; }
+    for (;;) {
+      ws();
+      if (!value(depth + 1)) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      break;
+    }
+    if (i >= s.size() || s[i] != ']') return false;
+    ++i;
+    return true;
+  }
+};
+
+// --- fixture ------------------------------------------------------------------
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset();
+    obs::set_enabled(false);
+    obs::set_capturing(false);
+    set_parallel_threads(1);
+  }
+  void TearDown() override {
+    obs::reset();
+    obs::set_enabled(false);
+    obs::set_capturing(false);
+    set_parallel_threads(1);
+  }
+};
+
+double metric_value(const std::vector<obs::Metric>& ms, const std::string& key) {
+  for (const auto& m : ms) {
+    if (m.key == key) return m.integral ? static_cast<double>(m.count) : m.value;
+  }
+  return -1.0;
+}
+
+// --- tests --------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledPathIsANoOp) {
+  ASSERT_FALSE(obs::enabled());
+  obs::Counter& c = obs::counter("obs_test.noop");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+
+  // A kWhenEnabled span never starts its clock; kAlways always does, which
+  // is what keeps TwoStage::train_seconds live with tracing off.
+  obs::Timer& t = obs::timer("obs_test.noop_timer");
+  const obs::Span off(t);
+  volatile double sink = 0.0;
+  for (int k = 0; k < 10000; ++k) sink = sink + 1.0;
+  EXPECT_EQ(off.seconds(), 0.0);
+  const obs::Span always(t, obs::Span::Policy::kAlways);
+  for (int k = 0; k < 10000; ++k) sink = sink + 1.0;
+  EXPECT_GT(always.seconds(), 0.0);
+  EXPECT_EQ(t.calls(), 0u);  // kAlways with metrics off times but never records
+}
+
+TEST_F(ObsTest, CounterAggregatesExactlyAcrossThreadCounts) {
+  constexpr std::size_t kN = 10000;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::reset();
+    obs::set_enabled(true);
+    set_parallel_threads(threads);
+    parallel_for(kN, 64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) OBS_COUNT("obs_test.counter");
+    });
+    EXPECT_EQ(obs::counter("obs_test.counter").value(), kN)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ObsTest, SpanNestingTracksInnermostName) {
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::current_span_name(), nullptr);
+  {
+    OBS_SPAN("obs_test.outer");
+    EXPECT_STREQ(obs::current_span_name(), "obs_test.outer");
+    {
+      OBS_SPAN("obs_test.inner");
+      EXPECT_STREQ(obs::current_span_name(), "obs_test.inner");
+    }
+    EXPECT_STREQ(obs::current_span_name(), "obs_test.outer");
+  }
+  EXPECT_EQ(obs::current_span_name(), nullptr);
+  EXPECT_EQ(obs::timer("obs_test.outer").calls(), 1u);
+  EXPECT_EQ(obs::timer("obs_test.inner").calls(), 1u);
+}
+
+TEST_F(ObsTest, ParallelRegionsAttributeToWorkerTracks) {
+  obs::set_enabled(true);
+  obs::set_capturing(true);
+  set_parallel_threads(4);
+  // Four chunks with an arrival barrier: at least two threads must be in
+  // the region at once (with a timeout so a slow machine degrades to a
+  // weaker assertion instead of a hang).
+  std::atomic<int> arrived{0};
+  {
+    OBS_SPAN("obs_test.region");
+    parallel_for(4, 1, [&](std::size_t, std::size_t) {
+      arrived.fetch_add(1, std::memory_order_relaxed);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (arrived.load(std::memory_order_relaxed) < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  ASSERT_GE(arrived.load(), 2);
+  std::set<std::uint64_t> region_tids;
+  std::uint64_t outer_events = 0;
+  for (const obs::TraceEvent& e : obs::captured_events()) {
+    if (e.name == "obs_test.region") {
+      region_tids.insert(e.tid);
+      // Worker tracks carry the pool worker id; tid 0 is the main thread.
+      if (e.tid != 0) {
+        EXPECT_EQ(e.thread_name, "worker-" + std::to_string(e.tid));
+      } else {
+        EXPECT_EQ(e.thread_name, "main");
+      }
+    }
+    if (e.tid == 0 && e.name == std::string("obs_test.region")) ++outer_events;
+  }
+  // The dispatching thread records the enclosing span plus its own drain
+  // span; every worker that joined records a drain span named after the
+  // region. The barrier guarantees at least one worker joined.
+  EXPECT_GE(region_tids.size(), 2u);
+  EXPECT_GE(outer_events, 2u);
+}
+
+TEST_F(ObsTest, SnapshotCountersAreThreadCountInvariant) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const Interval train{0, day_start(20)};
+  const Interval test{day_start(20), day_start(30)};
+
+  // Counter values (exact integer totals of deterministic work) must not
+  // depend on the thread count. Timer `_seconds` are wall-clock and the
+  // pool's region-span call counts depend on how many workers join, so the
+  // comparison is over integral metrics excluding `_calls`.
+  const auto run = [&](std::size_t threads) {
+    obs::reset();
+    obs::set_enabled(true);
+    set_parallel_threads(threads);
+    core::TwoStagePredictor predictor({});
+    predictor.train(trace, train);
+    (void)predictor.evaluate(trace, test);
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    for (const obs::Metric& m : obs::snapshot()) {
+      if (m.integral && !m.key.ends_with("_calls")) {
+        counters.emplace_back(m.key, m.count);
+      }
+    }
+    return counters;
+  };
+
+  const auto at1 = run(1);
+  const auto at4 = run(4);
+  ASSERT_FALSE(at1.empty());
+  EXPECT_EQ(at1, at4);
+  EXPECT_GT(metric_value(obs::snapshot(), "two_stage.train_samples_seen"), 0.0);
+  EXPECT_GT(metric_value(obs::snapshot(), "gbdt.hist_builds"), 0.0);
+  EXPECT_GT(metric_value(obs::snapshot(), "gbdt.hist_subtractions"), 0.0);
+}
+
+TEST_F(ObsTest, TracingLeavesTwoStageResultsBitIdentical) {
+  const sim::Trace& trace = shared_tiny_trace();
+  const Interval train{0, day_start(20)};
+  const Interval test{day_start(20), day_start(30)};
+
+  const auto run = [&] {
+    core::TwoStagePredictor predictor({});
+    predictor.train(trace, train);
+    return predictor.evaluate(trace, test);
+  };
+  obs::set_enabled(false);
+  obs::set_capturing(false);
+  const ml::ClassMetrics off = run();
+  obs::set_enabled(true);
+  obs::set_capturing(true);
+  const ml::ClassMetrics on = run();
+
+  EXPECT_EQ(off.confusion.tp, on.confusion.tp);
+  EXPECT_EQ(off.confusion.fp, on.confusion.fp);
+  EXPECT_EQ(off.confusion.tn, on.confusion.tn);
+  EXPECT_EQ(off.confusion.fn, on.confusion.fn);
+  EXPECT_EQ(off.positive.f1, on.positive.f1);
+  EXPECT_EQ(off.positive.precision, on.positive.precision);
+  EXPECT_EQ(off.positive.recall, on.positive.recall);
+  EXPECT_EQ(off.accuracy, on.accuracy);
+  EXPECT_GT(obs::captured_events().size(), 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormedJson) {
+  obs::set_enabled(true);
+  obs::set_capturing(true);
+  const std::string weird = "we\"ird\\span\tname";
+  {
+    obs::Timer& t = obs::timer(weird);
+    const obs::Span s(t);
+    OBS_SPAN("obs_test.export");
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(obs::write_chrome_trace(out));
+
+  JsonParser parser(out.str());
+  ASSERT_TRUE(parser.parse()) << out.str();
+  const auto& ss = parser.strings;
+  const auto has = [&](const std::string& v) {
+    return std::find(ss.begin(), ss.end(), v) != ss.end();
+  };
+  EXPECT_TRUE(has("traceEvents"));
+  EXPECT_TRUE(has("obs_test.export"));
+  EXPECT_TRUE(has(weird));  // quotes/backslashes/tabs survive a round trip
+  EXPECT_TRUE(has("main"));
+  EXPECT_TRUE(has("process_name"));
+}
+
+TEST_F(ObsTest, WriteTraceIfRequestedFollowsEnv) {
+  // The suite runs without REPRO_TRACE; with no requested path this must be
+  // a no-op. (When a path is set the bench-level test covers the write.)
+  if (obs::trace_request_path().empty()) {
+    EXPECT_FALSE(obs::write_trace_if_requested());
+  } else {
+    EXPECT_TRUE(obs::write_trace_if_requested());
+    std::remove(obs::trace_request_path().c_str());
+  }
+}
+
+TEST_F(ObsTest, BenchJsonEscapesAndMergesObsSnapshot) {
+  OBS_COUNT_ADD("obs_test.bench_counter", 7);  // registered before enable: 0
+  bench::BenchJson json("obs_unit");           // enables obs metrics
+  OBS_COUNT_ADD("obs_test.bench_counter", 7);
+  json.set("pi", 3.5);
+  json.set("flag", true);
+  json.set_int("answer", 42);
+  json.set_int("big", std::size_t{1} << 40);
+  json.set_string("path", "C:\\dir\\\"quoted\"");
+  // json.set("bare", 7);  // would not compile: integral set() is deleted
+  const std::string path = json.write();
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+
+  JsonParser parser(buf.str());
+  ASSERT_TRUE(parser.parse()) << buf.str();
+  EXPECT_EQ(parser.flat.at("bench"), "obs_unit");
+  EXPECT_EQ(parser.flat.at("pi"), "3.5");
+  EXPECT_EQ(parser.flat.at("flag"), "true");
+  EXPECT_EQ(parser.flat.at("answer"), "42");
+  EXPECT_EQ(parser.flat.at("big"), std::to_string(std::size_t{1} << 40));
+  EXPECT_EQ(parser.flat.at("path"), "C:\\dir\\\"quoted\"");
+  // The obs snapshot is merged under an "obs." prefix.
+  EXPECT_EQ(parser.flat.at("obs.obs_test.bench_counter"), "7");
+  EXPECT_TRUE(parser.flat.contains("obs.trace.events_dropped"));
+}
+
+}  // namespace
+}  // namespace repro
