@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <concepts>
 #include <cstdio>
 #include <filesystem>
@@ -82,6 +83,13 @@ class BenchJson {
   }
 
   void set(const std::string& key, double value) {
+    // JSON has no NaN/Inf literal; "%.9g" would emit "nan"/"inf" and break
+    // every consumer (tools/bench_diff included). Non-finite values encode
+    // as null, which parsers treat as "metric absent".
+    if (!std::isfinite(value)) {
+      entries_.emplace_back(key, "null");
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.9g", value);
     entries_.emplace_back(key, buf);

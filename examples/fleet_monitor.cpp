@@ -42,6 +42,47 @@ int main() {
                static_cast<double>(p.test_samples), p.train_seconds});
   }
   std::printf("\n%s\n", t.render().c_str());
+
+  // Drift & calibration panel (DESIGN.md §8): per-period model quality from
+  // the audit layer — is the probability forecast still calibrated, and
+  // which feature moved the most between the training window and the period
+  // it was asked to score?
+  TextTable audit_table({"test days", "Brier", "AUC", "ECE", "PSI max",
+                         "KS max", "drifted feats"});
+  const core::RetrainingPeriod* worst = nullptr;
+  for (const auto& p : periods) {
+    if (!p.quality.valid) continue;
+    audit_table.add_row(std::to_string(day_of(p.test.begin)) + "-" +
+                            std::to_string(day_of(p.test.end)),
+                        {p.quality.brier, p.quality.auc, p.quality.ece,
+                         p.drift.valid ? p.drift.psi_max : 0.0,
+                         p.drift.valid ? p.drift.ks_max : 0.0,
+                         p.drift.valid
+                             ? static_cast<double>(p.drift.psi_drifted)
+                             : 0.0},
+                        3);
+    if (p.drift.valid &&
+        (worst == nullptr || p.drift.psi_drifted > worst->drift.psi_drifted)) {
+      worst = &p;
+    }
+  }
+  std::printf("drift & calibration (audit layer, DESIGN.md §8):\n%s\n",
+              audit_table.render().c_str());
+  if (worst != nullptr) {
+    std::printf("widest drift: test days %lld-%lld — %zu features past"
+                " PSI %.2f; PSI %.3f on '%s', KS %.3f on '%s'\n",
+                static_cast<long long>(day_of(worst->test.begin)),
+                static_cast<long long>(day_of(worst->test.end)),
+                worst->drift.psi_drifted, audit::DriftDetector::kMajorShiftPsi,
+                worst->drift.psi_max, worst->drift.psi_argmax_name.c_str(),
+                worst->drift.ks_max, worst->drift.ks_argmax_name.c_str());
+    std::printf("History features drift by construction (their support grows\n"
+                "with the trace), so a steady baseline count is normal. The\n"
+                "day-85 event is concept drift — node susceptibility is\n"
+                "resampled, not the feature marginals — so it shows up in the\n"
+                "calibration columns (watch AUC dip on the 84-98 row), which\n"
+                "is why the audit layer tracks both.\n");
+  }
   std::printf("Every row is one retraining period: the model is refit on the\n"
               "previous %lld days and evaluated on the following %lld days.\n"
               "Watch the F1 dip right after the day-85 drift, then recover as\n"

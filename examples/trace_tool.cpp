@@ -6,12 +6,19 @@
 //   trace_tool sbe-log   [days] [seed] > sbe.csv
 //   trace_tool features  [days] [seed] > features.csv
 //   trace_tool probe <node> [days] [seed] > probe.csv
+//
+// Any command additionally accepts --snapshot: enables obs metrics for the
+// run and prints the flat key-sorted obs snapshot to stderr afterwards, so
+// pipeline counters are inspectable from the shell without a bench run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/sample_index.hpp"
+#include "obs/obs.hpp"
 #include "sim/export.hpp"
 #include "sim/simulator.hpp"
 
@@ -32,15 +39,28 @@ sim::SimConfig tool_config(std::int64_t days, std::uint64_t seed) {
 int usage() {
   std::fprintf(stderr,
                "usage: trace_tool <summary|samples|sbe-log|features> "
-               "[days] [seed]\n"
-               "       trace_tool probe <node> [days] [seed]\n"
-               "CSV output goes to stdout; progress to stderr.\n");
+               "[days] [seed] [--snapshot]\n"
+               "       trace_tool probe <node> [days] [seed] [--snapshot]\n"
+               "CSV output goes to stdout; progress to stderr.\n"
+               "--snapshot: enable obs metrics and print the flat key-sorted\n"
+               "            obs snapshot to stderr when the command finishes.\n");
   return 2;
 }
 
-}  // namespace
+/// Prints every obs metric as "key value" lines (snapshot() is key-sorted).
+void print_snapshot() {
+  std::fprintf(stderr, "# obs snapshot (key-sorted)\n");
+  for (const obs::Metric& m : obs::snapshot()) {
+    if (m.integral) {
+      std::fprintf(stderr, "%s %llu\n", m.key.c_str(),
+                   static_cast<unsigned long long>(m.count));
+    } else {
+      std::fprintf(stderr, "%s %.9g\n", m.key.c_str(), m.value);
+    }
+  }
+}
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   int arg = 2;
@@ -100,4 +120,23 @@ int main(int argc, char** argv) {
     return 0;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --snapshot wherever it appears before positional parsing.
+  std::vector<char*> args;
+  bool snapshot = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot") == 0) {
+      snapshot = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (snapshot) obs::set_enabled(true);
+  const int rc = run(static_cast<int>(args.size()), args.data());
+  if (snapshot && rc == 0) print_snapshot();
+  return rc;
 }

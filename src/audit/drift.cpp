@@ -1,0 +1,92 @@
+#include "audit/drift.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "ml/metrics.hpp"
+
+namespace repro::audit {
+
+void DriftDetector::fit(const ml::Matrix& train_X) {
+  REPRO_CHECK_MSG(train_X.rows() > 0, "cannot fit drift reference on empty X");
+  const std::size_t d = train_X.cols();
+  const std::size_t n = train_X.rows();
+  sorted_cols_.assign(d, {});
+  edges_.assign(d, {});
+  train_frac_.assign(d, {});
+
+  // Fixed stride keeps the retained reference bounded and deterministic
+  // (never a function of the thread count or an RNG).
+  const std::size_t stride = n <= kMaxRows ? 1 : (n + kMaxRows - 1) / kMaxRows;
+
+  parallel_for(d, 1, [&](std::size_t f_begin, std::size_t f_end) {
+    for (std::size_t f = f_begin; f < f_end; ++f) {
+      std::vector<float>& col = sorted_cols_[f];
+      col.reserve((n + stride - 1) / stride);
+      for (std::size_t r = 0; r < n; r += stride) col.push_back(train_X.at(r, f));
+      std::sort(col.begin(), col.end());
+
+      // Interior decile edges at fixed rank positions, deduped so constant
+      // and low-cardinality features get fewer (possibly zero) bins.
+      std::vector<float>& edges = edges_[f];
+      for (std::size_t k = 1; k < kBins; ++k) {
+        const float e = col[std::min(k * col.size() / kBins, col.size() - 1)];
+        if (edges.empty() || e > edges.back()) edges.push_back(e);
+      }
+      std::vector<double>& frac = train_frac_[f];
+      frac.assign(edges.size() + 1, 0.0);
+      for (const float v : col) frac[bin_of(f, v)] += 1.0;
+      for (double& x : frac) x /= static_cast<double>(col.size());
+    }
+  });
+}
+
+std::size_t DriftDetector::bin_of(std::size_t feature, float value) const {
+  const std::vector<float>& edges = edges_[feature];
+  return static_cast<std::size_t>(
+      std::lower_bound(edges.begin(), edges.end(), value) - edges.begin());
+}
+
+DriftSummary DriftDetector::compare(const ml::Matrix& test_X) const {
+  REPRO_CHECK_MSG(fitted(), "compare before fit");
+  REPRO_CHECK_MSG(test_X.cols() == features(), "drift width mismatch");
+  DriftSummary out;
+  if (test_X.rows() == 0) return out;
+  const std::size_t d = features();
+  out.per_feature.assign(d, {});
+
+  parallel_for(d, 1, [&](std::size_t f_begin, std::size_t f_end) {
+    std::vector<float> col;
+    std::vector<double> frac;
+    for (std::size_t f = f_begin; f < f_end; ++f) {
+      col.resize(test_X.rows());
+      for (std::size_t r = 0; r < test_X.rows(); ++r) col[r] = test_X.at(r, f);
+
+      frac.assign(train_frac_[f].size(), 0.0);
+      for (const float v : col) frac[bin_of(f, v)] += 1.0;
+      for (double& x : frac) x /= static_cast<double>(col.size());
+      out.per_feature[f].psi =
+          ml::population_stability_index(train_frac_[f], frac);
+
+      std::sort(col.begin(), col.end());
+      out.per_feature[f].ks = ml::ks_statistic_sorted(sorted_cols_[f], col);
+    }
+  });
+
+  for (std::size_t f = 0; f < d; ++f) {
+    if (out.per_feature[f].psi > out.psi_max) {
+      out.psi_max = out.per_feature[f].psi;
+      out.psi_argmax = f;
+    }
+    if (out.per_feature[f].ks > out.ks_max) {
+      out.ks_max = out.per_feature[f].ks;
+      out.ks_argmax = f;
+    }
+    if (out.per_feature[f].psi > kMajorShiftPsi) ++out.psi_drifted;
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace repro::audit

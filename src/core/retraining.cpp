@@ -27,8 +27,19 @@ std::vector<RetrainingPeriod> run_retraining(const sim::Trace& trace,
     }
     const auto idx = samples_in(trace, period.test);
     period.test_samples = idx.size();
-    const auto pred = predictor.predict(trace, idx);
+    std::vector<float> proba;
+    const auto pred = predictor.predict(trace, idx, &proba);
     period.metrics = evaluate_predictions(trace, idx, pred);
+    // Per-period model-quality audit (gated on the obs switch like the
+    // rest of the audit layer): calibration of the period's probability
+    // forecast plus the drift summary predict_proba just computed. The
+    // last period's values remain on the audit.* gauges for artifacts.
+    if (obs::enabled() && !idx.empty()) {
+      const std::vector<ml::Label> truth = labels_of(trace, idx);
+      period.quality = audit::assess(truth, proba);
+      audit::publish(period.quality);
+      period.drift = predictor.last_drift();
+    }
     out.push_back(std::move(period));
   }
   return out;

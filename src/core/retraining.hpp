@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "core/two_stage.hpp"
 
 namespace repro::core {
@@ -26,6 +27,11 @@ struct RetrainingPeriod {
   double train_seconds = 0.0;
   std::size_t offender_nodes = 0;
   std::size_t test_samples = 0;
+  /// Model-quality observability for the period (DESIGN.md §8), populated
+  /// only when obs metrics are enabled: probability calibration (Brier /
+  /// AUC / ECE / reliability bins) and train-vs-test feature drift.
+  audit::QualityReport quality;
+  audit::DriftSummary drift;
 };
 
 /// Runs the full loop over the trace; one entry per evaluation period.

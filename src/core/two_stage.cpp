@@ -1,5 +1,6 @@
 #include "core/two_stage.hpp"
 
+#include "audit/audit.hpp"
 #include "common/parallel.hpp"
 #include "obs/obs.hpp"
 
@@ -10,9 +11,11 @@ TwoStagePredictor::TwoStagePredictor(const TwoStageConfig& config)
 
 void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
   OBS_SPAN("two_stage.train");
+  train_window_ = train_window;
   extractor_ = std::make_unique<features::FeatureExtractor>(trace,
                                                             config_.features);
   std::vector<std::size_t> train_idx;
+  std::size_t window_samples = 0;
   {
     // Stage 1: offender set = any SBE observed before the end of training,
     // then restrict to offender-node samples inside the training window.
@@ -24,6 +27,7 @@ void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
         train_idx.push_back(i);
       }
     }
+    window_samples = window_idx.size();
     OBS_COUNT_ADD("two_stage.train_samples_seen", window_idx.size());
     OBS_COUNT_ADD("two_stage.train_stage1_survivors", train_idx.size());
   }
@@ -43,6 +47,24 @@ void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
   scaler_.fit(train_set.X);
   scaler_.transform_inplace(train_set.X);
 
+  // Model-quality observability (DESIGN.md §8): remember the scaled
+  // training distribution so predict-time drift has a reference, and
+  // publish the stage-1 rebalancing gauges. Pure reads — skipping them
+  // (obs off) cannot change anything downstream.
+  last_drift_ = {};
+  if (obs::enabled()) {
+    OBS_SPAN("audit.drift_fit");
+    drift_.fit(train_set.X);
+    if (window_samples > 0) {
+      obs::gauge("audit.train_survivor_rate")
+          .set(static_cast<double>(train_idx.size()) /
+               static_cast<double>(window_samples));
+    }
+    obs::gauge("audit.train_positive_rate")
+        .set(static_cast<double>(train_set.positives()) /
+             static_cast<double>(train_set.size()));
+  }
+
   model_ = ml::make_model(config_.model, config_.seed);
   // Table III's train_seconds: the fit wall-clock is always measured
   // (Policy::kAlways keeps the clock running even with tracing off, so
@@ -52,6 +74,24 @@ void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
   const obs::Span fit_span(fit_timer, obs::Span::Policy::kAlways);
   model_->fit(train_set);
   train_seconds_ = fit_span.seconds();
+
+  // Provenance header for the prediction audit log: one manifest line per
+  // trained model, so the records that follow are attributable.
+  if (audit::Sink* s = audit::sink()) {
+    audit::Manifest m;
+    m.model = std::string(ml::to_string(config_.model));
+    m.seed = config_.seed;
+    m.threshold = config_.threshold;
+    m.feature_dim = extractor_->dim();
+    m.feature_mask = config_.features.mask;
+    m.forecast_current_run = config_.features.forecast_current_run;
+    m.undersample_ratio = config_.undersample_ratio;
+    m.threads = parallel_threads();
+    m.train_begin = train_window.begin;
+    m.train_end = train_window.end;
+    m.stage2_training_size = stage2_size_;
+    s->write_line(audit::to_json_line(m));
+  }
 }
 
 std::vector<float> TwoStagePredictor::predict_proba(
@@ -71,6 +111,11 @@ std::vector<float> TwoStagePredictor::predict_proba(
   }
   OBS_COUNT_ADD("two_stage.predict_samples_seen", idx.size());
   OBS_COUNT_ADD("two_stage.predict_stage1_survivors", accepted.size());
+  if (obs::enabled() && !idx.empty()) {
+    obs::gauge("audit.survivor_rate")
+        .set(static_cast<double>(accepted.size()) /
+             static_cast<double>(idx.size()));
+  }
   if (accepted.empty()) return out;
   // Stage 2 is batched: extract + scale every accepted sample's feature
   // row (disjoint writes), then one predict_proba_many call so models with
@@ -83,6 +128,27 @@ std::vector<float> TwoStagePredictor::predict_proba(
       scaler_.transform_row(row);
     }
   });
+  // Train-vs-serve drift over the features the model actually scored
+  // (stage-2 survivors); a degraded period points at the features that
+  // moved. Reads the fitted reference + the local matrix, writes gauges
+  // and the per-predictor summary only.
+  if (obs::enabled() && drift_.fitted()) {
+    OBS_SPAN("audit.drift_compare");
+    last_drift_ = drift_.compare(features);
+    if (last_drift_.valid) {
+      const auto& names = extractor_->names();
+      last_drift_.psi_argmax_name = names[last_drift_.psi_argmax];
+      last_drift_.ks_argmax_name = names[last_drift_.ks_argmax];
+      obs::gauge("audit.psi_max").set(last_drift_.psi_max);
+      obs::gauge("audit.psi_argmax_feature")
+          .set(static_cast<double>(last_drift_.psi_argmax));
+      obs::gauge("audit.ks_max").set(last_drift_.ks_max);
+      obs::gauge("audit.ks_argmax_feature")
+          .set(static_cast<double>(last_drift_.ks_argmax));
+      obs::gauge("audit.psi_drifted_features")
+          .set(static_cast<double>(last_drift_.psi_drifted));
+    }
+  }
   const std::vector<float> proba = model_->predict_proba_many(features);
   for (std::size_t i = 0; i < accepted.size(); ++i) {
     out[accepted[i]] = proba[i];
@@ -91,12 +157,54 @@ std::vector<float> TwoStagePredictor::predict_proba(
 }
 
 std::vector<ml::Label> TwoStagePredictor::predict(
-    const sim::Trace& trace, std::span<const std::size_t> idx) const {
-  const std::vector<float> proba = predict_proba(trace, idx);
+    const sim::Trace& trace, std::span<const std::size_t> idx,
+    std::vector<float>* proba_out) const {
+  std::vector<float> proba = predict_proba(trace, idx);
   std::vector<ml::Label> out(proba.size());
   for (std::size_t i = 0; i < proba.size(); ++i) {
     out[i] = proba[i] >= config_.threshold ? 1 : 0;
   }
+  if (audit::Sink* s = audit::sink()) {
+    OBS_SPAN("audit.log");
+    OBS_COUNT_ADD("audit.records_written", idx.size());
+    // Record lines build in parallel into an index-addressed buffer
+    // (disjoint writes), then flush as one in-order batch — byte-identical
+    // output for any REPRO_THREADS.
+    std::vector<std::string> lines(idx.size());
+    const std::size_t dim = extractor_->dim();
+    const auto& names = extractor_->names();
+    parallel_for(idx.size(), 256, [&](std::size_t begin, std::size_t end) {
+      std::vector<float> row(dim);
+      std::vector<double> contrib(dim);
+      for (std::size_t k = begin; k < end; ++k) {
+        const sim::RunNodeSample& smp = trace.samples[idx[k]];
+        audit::PredictionRecord rec;
+        rec.sample = idx[k];
+        rec.run = smp.run;
+        rec.app = smp.app;
+        rec.node = smp.node;
+        rec.score = proba[k];
+        rec.threshold = config_.threshold;
+        rec.decision = out[k] != 0;
+        rec.truth = smp.sbe_affected();
+        rec.stage1_accepted =
+            offender_mask_[static_cast<std::size_t>(smp.node)] != 0;
+        if (rec.stage1_accepted) {
+          extractor_->extract(smp, row);
+          scaler_.transform_row(row);
+          if (model_->explain(row, contrib, &rec.bias)) {
+            rec.has_contrib = true;
+            for (const auto& [f, v] : audit::top_k_contributions(contrib)) {
+              rec.contrib.emplace_back(names[f], v);
+            }
+          }
+        }
+        lines[k] = audit::to_json_line(rec);
+      }
+    });
+    s->write_lines(lines);
+  }
+  if (proba_out != nullptr) *proba_out = std::move(proba);
   return out;
 }
 
@@ -104,7 +212,14 @@ ml::ClassMetrics TwoStagePredictor::evaluate(const sim::Trace& trace,
                                              Interval test_window) const {
   OBS_SPAN("two_stage.evaluate");
   const std::vector<std::size_t> idx = samples_in(trace, test_window);
-  const std::vector<ml::Label> pred = predict(trace, idx);
+  std::vector<float> proba;
+  const std::vector<ml::Label> pred = predict(trace, idx, &proba);
+  // Calibration/quality gauges ride the obs switch like everything else in
+  // the audit layer; assess() is a pure read of (truth, proba).
+  if (obs::enabled() && !idx.empty()) {
+    const std::vector<ml::Label> truth = labels_of(trace, idx);
+    audit::publish(audit::assess(truth, proba));
+  }
   return evaluate_predictions(trace, idx, pred);
 }
 

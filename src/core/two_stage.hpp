@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "audit/drift.hpp"
 #include "core/sample_index.hpp"
 #include "core/splits.hpp"
 #include "features/features.hpp"
@@ -46,11 +47,19 @@ class TwoStagePredictor {
   /// ended inside train_window).
   void train(const sim::Trace& trace, Interval train_window);
 
-  /// P(SBE) per sample; stage-1 rejects get probability 0.
+  /// P(SBE) per sample; stage-1 rejects get probability 0. When obs
+  /// metrics are on, also publishes the audit drift/survivor-rate gauges
+  /// and refreshes last_drift().
   [[nodiscard]] std::vector<float> predict_proba(
       const sim::Trace& trace, std::span<const std::size_t> idx) const;
+  /// Thresholded predictions. With an active audit sink (REPRO_AUDIT),
+  /// additionally writes one JSONL record per sample — score, decision,
+  /// truth, top-k feature contributions — flushed in index order.
+  /// `proba_out`, when non-null, receives the underlying probabilities so
+  /// callers needing both never score twice.
   [[nodiscard]] std::vector<ml::Label> predict(
-      const sim::Trace& trace, std::span<const std::size_t> idx) const;
+      const sim::Trace& trace, std::span<const std::size_t> idx,
+      std::vector<float>* proba_out = nullptr) const;
 
   /// Convenience: predictions + metrics over a test window.
   [[nodiscard]] ml::ClassMetrics evaluate(const sim::Trace& trace,
@@ -75,6 +84,12 @@ class TwoStagePredictor {
     REPRO_CHECK_MSG(model_ != nullptr, "model not trained");
     return *model_;
   }
+  /// Feature drift of the most recent predict_proba call against this
+  /// model's training distribution (valid only when obs metrics were on
+  /// for both train and predict; see DESIGN.md §8).
+  [[nodiscard]] const audit::DriftSummary& last_drift() const noexcept {
+    return last_drift_;
+  }
 
  private:
   TwoStageConfig config_;
@@ -84,6 +99,11 @@ class TwoStagePredictor {
   std::vector<char> offender_mask_;
   double train_seconds_ = 0.0;
   std::size_t stage2_size_ = 0;
+  Interval train_window_{};
+  audit::DriftDetector drift_;
+  /// Per-call cache, not shared state: each predictor instance is driven
+  /// by one thread at a time (sweep cells own their predictor).
+  mutable audit::DriftSummary last_drift_;
 };
 
 }  // namespace repro::core

@@ -352,6 +352,9 @@ GradientBoostedTrees::Tree GradientBoostedTrees::build_tree(
         leaves.push_back({bn.begin, bn.end, node.value});
         continue;
       }
+      // Split nodes keep their own Newton value too: explain()'s path
+      // attribution charges value deltas along the root -> leaf walk.
+      node.value = leaf_value(bn.G, bn.H);
       node.feature = bn.best_f;
       node.code = bn.best_code;
       node.threshold =
@@ -522,6 +525,32 @@ std::vector<float> GradientBoostedTrees::predict_proba_many(
     for (std::size_t r = begin; r < end; ++r) out[r] = sigmoidf(out[r]);
   });
   return out;
+}
+
+bool GradientBoostedTrees::explain(std::span<const float> x,
+                                   std::span<double> contributions,
+                                   double* bias) const {
+  REPRO_CHECK_MSG(x.size() == features_, "feature width mismatch");
+  REPRO_CHECK_MSG(contributions.size() == features_,
+                  "contribution width mismatch");
+  std::fill(contributions.begin(), contributions.end(), 0.0);
+  double b = base_score_;
+  for (const Tree& t : trees_) {
+    std::int32_t i = 0;
+    b += t.nodes[0].value;
+    while (t.nodes[static_cast<std::size_t>(i)].feature >= 0) {
+      const Node& n = t.nodes[static_cast<std::size_t>(i)];
+      const std::int32_t next =
+          x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                : n.right;
+      contributions[static_cast<std::size_t>(n.feature)] +=
+          static_cast<double>(t.nodes[static_cast<std::size_t>(next)].value) -
+          static_cast<double>(n.value);
+      i = next;
+    }
+  }
+  if (bias != nullptr) *bias = b;
+  return true;
 }
 
 std::vector<double> GradientBoostedTrees::feature_importance() const {

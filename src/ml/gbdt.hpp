@@ -112,6 +112,13 @@ class GradientBoostedTrees final : public Model {
     return "GBDT";
   }
 
+  /// Path-based (Saabas) attribution: every node carries its own Newton
+  /// value, and walking root -> leaf charges value(child) - value(parent)
+  /// to the split feature, so bias + sum(contributions) equals the exact
+  /// log-odds score predict_proba would sigmoid.
+  bool explain(std::span<const float> x, std::span<double> contributions,
+               double* bias) const override;
+
   /// Total split gain per feature (valid after fit); larger = more used.
   [[nodiscard]] std::vector<double> feature_importance() const;
 
@@ -130,7 +137,10 @@ class GradientBoostedTrees final : public Model {
     float threshold = 0.0f;      ///< go left when value <= threshold
     std::int32_t left = -1;
     std::int32_t right = -1;
-    float value = 0.0f;          ///< leaf output
+    /// Newton value of the node's sample set. Prediction output for
+    /// leaves; on split nodes it only feeds explain()'s path attribution
+    /// (predict never reads it there).
+    float value = 0.0f;
     std::uint8_t code = 0;       ///< split bin: go left when code <= this
     double gain = 0.0;           ///< split gain (for importance)
   };

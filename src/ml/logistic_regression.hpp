@@ -29,6 +29,11 @@ class LogisticRegression final : public Model {
     return "LR";
   }
 
+  /// Linear attribution: contribution_f = weight_f * x_f, bias = intercept;
+  /// bias + sum(contributions) is the exact pre-sigmoid logit.
+  bool explain(std::span<const float> x, std::span<double> contributions,
+               double* bias) const override;
+
   /// Learned coefficients (valid after fit).
   [[nodiscard]] std::span<const float> weights() const noexcept {
     return weights_;

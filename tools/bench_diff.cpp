@@ -1,0 +1,223 @@
+// bench_diff: compares two BENCH_<name>.json artifacts (bench/support
+// BenchJson format — one flat JSON object of scalar metrics) and fails on
+// regressions, so CI and humans can gate on "did this change make the
+// reproduction worse".
+//
+//   bench_diff <old.json> <new.json> [--perf-tolerance <pct>]
+//
+// Two classes of keys are compared (only keys present in BOTH files):
+//
+//   * eval metrics — last dot-segment f1/precision/recall/accuracy/auc
+//     (higher is better) or brier/ece (lower is better). Any worsening
+//     beyond 1e-9 is a regression: eval numbers are deterministic for a
+//     fixed seed, so they must not move at all. Keys containing "baseline"
+//     are skipped (they describe the comparison floor, not the model).
+//   * perf metrics — keys ending in "_seconds". A regression is
+//     new > old * (1 + tolerance); default tolerance 25%, settable via
+//     --perf-tolerance (percent) to absorb machine-to-machine noise.
+//
+// Exit codes: 0 no regression ("no eval regression" printed), 1 at least
+// one regression, 2 usage or parse error.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr double kEvalEpsilon = 1e-9;
+
+struct FlatJson {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> others;  // strings/bools/null, verbatim
+};
+
+/// Minimal parser for the flat scalar-object subset BenchJson emits.
+/// Returns std::nullopt (with a message on stderr) on anything else.
+std::optional<FlatJson> parse_flat_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  const auto fail = [&](const char* what) -> std::optional<FlatJson> {
+    std::fprintf(stderr, "bench_diff: %s: %s at byte %zu\n", path.c_str(),
+                 what, i);
+    return std::nullopt;
+  };
+  const auto parse_string = [&]() -> std::optional<std::string> {
+    if (i >= text.size() || text[i] != '"') return std::nullopt;
+    ++i;
+    std::string out;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        const char esc = text[i + 1];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': out += '?'; i += 4; break;  // identifiers never need it
+          default: out += esc;
+        }
+        i += 2;
+      } else {
+        out += text[i++];
+      }
+    }
+    if (i >= text.size()) return std::nullopt;
+    ++i;  // closing quote
+    return out;
+  };
+
+  FlatJson doc;
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return fail("expected '{'");
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return doc;  // empty object
+  while (true) {
+    skip_ws();
+    const auto key = parse_string();
+    if (!key) return fail("expected string key");
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return fail("expected ':'");
+    ++i;
+    skip_ws();
+    if (i >= text.size()) return fail("truncated value");
+    if (text[i] == '"') {
+      const auto value = parse_string();
+      if (!value) return fail("unterminated string value");
+      doc.others[*key] = "\"" + *value + "\"";
+    } else if (text[i] == '{' || text[i] == '[') {
+      return fail("nested values are not BenchJson");
+    } else {
+      // number / true / false / null: scan the bare token.
+      const std::size_t start = i;
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      const std::string token = text.substr(start, i - start);
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (end != nullptr && *end == '\0' && end != token.c_str()) {
+        doc.numbers[*key] = v;
+      } else {
+        doc.others[*key] = token;  // true/false/null
+      }
+    }
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return doc;
+    return fail("expected ',' or '}'");
+  }
+}
+
+std::string last_segment(const std::string& key) {
+  const auto dot = key.rfind('.');
+  return dot == std::string::npos ? key : key.substr(dot + 1);
+}
+
+/// +1: higher is better, -1: lower is better, 0: not an eval metric.
+int eval_direction(const std::string& key) {
+  if (key.find("baseline") != std::string::npos) return 0;
+  const std::string leaf = last_segment(key);
+  if (leaf == "f1" || leaf == "precision" || leaf == "recall" ||
+      leaf == "accuracy" || leaf == "auc") {
+    return +1;
+  }
+  if (leaf == "brier" || leaf == "ece") return -1;
+  return 0;
+}
+
+bool is_perf_key(const std::string& key) {
+  constexpr const char* kSuffix = "_seconds";
+  const std::size_t n = std::strlen(kSuffix);
+  return key.size() >= n && key.compare(key.size() - n, n, kSuffix) == 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <old.json> <new.json>"
+               " [--perf-tolerance <pct>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double perf_tolerance = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf-tolerance") == 0) {
+      if (i + 1 >= argc) return usage();
+      perf_tolerance = std::atof(argv[++i]) / 100.0;
+      if (perf_tolerance < 0.0) return usage();
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  const auto old_doc = parse_flat_json(paths[0]);
+  const auto new_doc = parse_flat_json(paths[1]);
+  if (!old_doc || !new_doc) return 2;
+
+  int regressions = 0;
+  std::size_t eval_compared = 0;
+  std::size_t perf_compared = 0;
+  for (const auto& [key, old_v] : old_doc->numbers) {
+    const auto it = new_doc->numbers.find(key);
+    if (it == new_doc->numbers.end()) continue;
+    const double new_v = it->second;
+    if (const int dir = eval_direction(key); dir != 0) {
+      ++eval_compared;
+      const double worsening = dir > 0 ? old_v - new_v : new_v - old_v;
+      if (worsening > kEvalEpsilon) {
+        ++regressions;
+        std::printf("EVAL REGRESSION  %-40s %.9g -> %.9g (%s)\n", key.c_str(),
+                    old_v, new_v, dir > 0 ? "dropped" : "rose");
+      }
+    } else if (is_perf_key(key)) {
+      ++perf_compared;
+      if (old_v > 0.0 && new_v > old_v * (1.0 + perf_tolerance)) {
+        ++regressions;
+        std::printf("PERF REGRESSION  %-40s %.3fs -> %.3fs (+%.0f%% > %.0f%%)\n",
+                    key.c_str(), old_v, new_v, 100.0 * (new_v / old_v - 1.0),
+                    100.0 * perf_tolerance);
+      }
+    }
+  }
+
+  std::printf("bench_diff: %s vs %s — %zu eval, %zu perf keys compared\n",
+              paths[0].c_str(), paths[1].c_str(), eval_compared,
+              perf_compared);
+  if (regressions > 0) {
+    std::printf("%d regression%s found\n", regressions,
+                regressions == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("no eval regression (perf within %.0f%%)\n",
+              100.0 * perf_tolerance);
+  return 0;
+}
