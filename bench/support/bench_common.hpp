@@ -125,18 +125,35 @@ class BenchJson {
         set("obs." + m.key, m.value);
       }
     }
-    std::ofstream out(path(), std::ios::trunc);
-    out << "{\n  \"bench\": \"" << bench_json_escape(name_) << "\",\n";
-    out << "  \"threads\": " << parallel_threads() << ",\n";
-    out << "  \"trace_cache_hit\": "
-        << (paper_trace_cache_hit() ? "true" : "false") << ",\n";
-    char wall_buf[64];
-    std::snprintf(wall_buf, sizeof(wall_buf), "%.3f", wall);
-    out << "  \"wall_seconds\": " << wall_buf;
-    for (const auto& [key, value] : entries_) {
-      out << ",\n  \"" << bench_json_escape(key) << "\": " << value;
+    // Atomic publish (tmp + rename): a bench killed mid-write must never
+    // leave a torn BENCH_*.json for bench_diff to choke on.
+    const std::string tmp = path() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << "{\n  \"bench\": \"" << bench_json_escape(name_) << "\",\n";
+      out << "  \"threads\": " << parallel_threads() << ",\n";
+      out << "  \"trace_cache_hit\": "
+          << (paper_trace_cache_hit() ? "true" : "false") << ",\n";
+      char wall_buf[64];
+      std::snprintf(wall_buf, sizeof(wall_buf), "%.3f", wall);
+      out << "  \"wall_seconds\": " << wall_buf;
+      for (const auto& [key, value] : entries_) {
+        out << ",\n  \"" << bench_json_escape(key) << "\": " << value;
+      }
+      out << "\n}\n";
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "[bench] write to %s failed\n", tmp.c_str());
+        return path();
+      }
     }
-    out << "\n}\n";
+    std::error_code ec;
+    std::filesystem::rename(tmp, path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "[bench] cannot publish %s: %s\n", path().c_str(),
+                   ec.message().c_str());
+      return path();
+    }
     std::fprintf(stderr, "[bench] wrote %s\n", path().c_str());
     obs::write_trace_if_requested();
     return path();

@@ -38,18 +38,32 @@ void publish(const QualityReport& q) {
 // --- sink -------------------------------------------------------------------
 
 Sink::Sink(const std::string& path)
-    : path_(path), out_(path, std::ios::trunc) {}
+    : path_(path), out_(path, std::ios::trunc) {
+  healthy_.store(static_cast<bool>(out_), std::memory_order_relaxed);
+}
+
+void Sink::note_failure() {
+  if (healthy_.exchange(false, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[audit] write to %s failed: disabling the audit sink\n",
+                 path_.c_str());
+  }
+}
 
 void Sink::write_line(const std::string& line) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (!ok()) return;
   out_ << line << '\n';
   out_.flush();
+  if (!out_) note_failure();
 }
 
 void Sink::write_lines(std::span<const std::string> lines) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (!ok()) return;
   for (const std::string& line : lines) out_ << line << '\n';
   out_.flush();
+  if (!out_) note_failure();
 }
 
 namespace {

@@ -26,6 +26,7 @@
 // batches, never partial lines.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <mutex>
@@ -70,7 +71,12 @@ class Sink {
  public:
   explicit Sink(const std::string& path);
 
-  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+  /// False once the file failed to open or a write failed. A failed sink
+  /// warns once on stderr and permanently disables itself — audit logging
+  /// is observability, never worth crashing (or spamming) the pipeline.
+  [[nodiscard]] bool ok() const noexcept {
+    return healthy_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
   void write_line(const std::string& line);
@@ -78,9 +84,13 @@ class Sink {
   void write_lines(std::span<const std::string> lines);
 
  private:
+  /// Under mu_: warn once and disable after a failed write.
+  void note_failure();
+
   std::string path_;
   std::ofstream out_;
   std::mutex mu_;
+  std::atomic<bool> healthy_{false};
 };
 
 /// The process-wide sink: nullptr unless REPRO_AUDIT=<path> was set (read

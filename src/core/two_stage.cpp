@@ -1,5 +1,7 @@
 #include "core/two_stage.hpp"
 
+#include <cstdio>
+
 #include "audit/audit.hpp"
 #include "common/parallel.hpp"
 #include "obs/obs.hpp"
@@ -31,8 +33,23 @@ void TwoStagePredictor::train(const sim::Trace& trace, Interval train_window) {
     OBS_COUNT_ADD("two_stage.train_samples_seen", window_idx.size());
     OBS_COUNT_ADD("two_stage.train_stage1_survivors", train_idx.size());
   }
-  REPRO_CHECK_MSG(!train_idx.empty(),
-                  "no offender-node samples in the training window");
+  // An empty stage-2 training set is a data condition, not a programming
+  // error: a corrupted or heavily-quarantined trace can leave the window
+  // without a single offender-node sample. Degrade to stage 1 alone
+  // (predict everything SBE-free) instead of crashing the pipeline.
+  degraded_ = train_idx.empty();
+  if (degraded_) {
+    std::fprintf(stderr,
+                 "[two_stage] no offender-node samples in training window "
+                 "[%lld, %lld): degrading to all-negative predictions\n",
+                 static_cast<long long>(train_window.begin),
+                 static_cast<long long>(train_window.end));
+    OBS_COUNT("two_stage.degraded_no_offenders");
+    model_.reset();
+    stage2_size_ = 0;
+    train_seconds_ = 0.0;
+    return;
+  }
   ml::Dataset train_set = [&] {
     OBS_SPAN("two_stage.featurize");
     ml::Dataset built = extractor_->build(train_idx);
@@ -99,6 +116,11 @@ std::vector<float> TwoStagePredictor::predict_proba(
   REPRO_CHECK_MSG(trained(), "predict before train");
   OBS_SPAN("two_stage.predict");
   std::vector<float> out(idx.size(), 0.0f);
+  if (degraded_) {
+    // Stage 2 never trained: stage 1 alone, i.e. everything SBE-free.
+    OBS_COUNT_ADD("two_stage.predict_samples_seen", idx.size());
+    return out;
+  }
   // Stage 1 filters to offender nodes; everything else is predicted
   // SBE-free (proba 0) without touching the model.
   std::vector<std::size_t> accepted;
@@ -189,7 +211,7 @@ std::vector<ml::Label> TwoStagePredictor::predict(
         rec.truth = smp.sbe_affected();
         rec.stage1_accepted =
             offender_mask_[static_cast<std::size_t>(smp.node)] != 0;
-        if (rec.stage1_accepted) {
+        if (rec.stage1_accepted && model_ != nullptr) {
           extractor_->extract(smp, row);
           scaler_.transform_row(row);
           if (model_->explain(row, contrib, &rec.bias)) {

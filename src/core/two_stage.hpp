@@ -65,7 +65,13 @@ class TwoStagePredictor {
   [[nodiscard]] ml::ClassMetrics evaluate(const sim::Trace& trace,
                                           Interval test_window) const;
 
-  [[nodiscard]] bool trained() const noexcept { return model_ != nullptr; }
+  [[nodiscard]] bool trained() const noexcept {
+    return model_ != nullptr || degraded_;
+  }
+  /// True when the last train() found no offender-node samples in its
+  /// window and fell back to all-negative predictions (stage 1 alone).
+  /// A corrupted or heavily-quarantined trace must degrade, not crash.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
   [[nodiscard]] const std::vector<char>& offender_mask() const noexcept {
     return offender_mask_;
   }
@@ -99,6 +105,7 @@ class TwoStagePredictor {
   std::vector<char> offender_mask_;
   double train_seconds_ = 0.0;
   std::size_t stage2_size_ = 0;
+  bool degraded_ = false;
   Interval train_window_{};
   audit::DriftDetector drift_;
   /// Per-call cache, not shared state: each predictor instance is driven

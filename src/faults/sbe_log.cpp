@@ -93,4 +93,82 @@ std::vector<char> SbeLog::offender_mask(Minute lo, Minute hi) const {
   return mask;
 }
 
+SbeSanitizeStats sanitize_events(std::vector<SbeEvent>& events,
+                                 std::int32_t total_nodes,
+                                 std::int32_t total_apps) {
+  SbeSanitizeStats stats;
+  // Pass 1: per-record validation. Quarantine anything an index would
+  // choke on or that reads as a counter artifact; keep the rest.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < events.size(); ++r) {
+    const SbeEvent& e = events[r];
+    if (e.node < 0 || e.node >= total_nodes || e.app < 0 ||
+        e.app >= total_apps) {
+      ++stats.out_of_range_dropped;
+      continue;
+    }
+    if (e.start < 0 || e.end < e.start) {
+      ++stats.bad_interval_dropped;
+      continue;
+    }
+    if (e.count == 0) {
+      ++stats.resets_dropped;
+      continue;
+    }
+    if (e.count > kMaxPlausibleSbeCount) {
+      ++stats.rollbacks_dropped;
+      continue;
+    }
+    events[w++] = e;
+  }
+  events.resize(w);
+  // Pass 2: monotonicity repair. The log's contract is non-decreasing
+  // observation (`end`) time; a stable sort restores it while preserving
+  // the original order of simultaneous observations.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].end < events[i - 1].end) ++stats.reordered_repaired;
+  }
+  if (stats.reordered_repaired > 0) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const SbeEvent& a, const SbeEvent& b) {
+                       return a.end < b.end;
+                     });
+  }
+  // Pass 3: drop exact duplicates (a duplicated scheduler record yields a
+  // byte-identical event; distinct observations at the same minute are
+  // legitimate and kept). Duplicates are adjacent after the stable sort
+  // only if they were adjacent before it, so scan the whole tie-range.
+  w = 0;
+  for (std::size_t r = 0; r < events.size(); ++r) {
+    const SbeEvent& e = events[r];
+    bool dup = false;
+    for (std::size_t p = w; p-- > 0 && events[p].end == e.end;) {
+      const SbeEvent& q = events[p];
+      if (q.run == e.run && q.app == e.app && q.node == e.node &&
+          q.start == e.start && q.count == e.count) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      ++stats.duplicates_dropped;
+      continue;
+    }
+    events[w++] = e;
+  }
+  events.resize(w);
+  stats.accepted = events.size();
+  return stats;
+}
+
+SbeLog rebuild_log(std::vector<SbeEvent> events, std::int32_t total_nodes,
+                   std::int32_t total_apps, SbeSanitizeStats* stats) {
+  const SbeSanitizeStats s =
+      sanitize_events(events, total_nodes, total_apps);
+  if (stats != nullptr) *stats = s;
+  SbeLog log(total_nodes, total_apps);
+  for (const SbeEvent& e : events) log.add(e);
+  return log;
+}
+
 }  // namespace repro::faults

@@ -59,6 +59,9 @@ class SbeLog {
   [[nodiscard]] const std::vector<SbeEvent>& events() const noexcept {
     return events_;
   }
+  [[nodiscard]] std::vector<SbeEvent> take_events() && noexcept {
+    return std::move(events_);
+  }
   [[nodiscard]] std::int32_t total_nodes() const noexcept {
     return static_cast<std::int32_t>(by_node_.size());
   }
@@ -83,5 +86,46 @@ class SbeLog {
   // wasteful, so we reuse by_node_ events filtered on demand.
   std::vector<std::vector<std::uint32_t>> node_event_ids_;
 };
+
+// --- hardened ingest --------------------------------------------------------
+
+/// Counts above this are physically implausible for one aprun and read as a
+/// counter rollback (nvidia-smi SBE counters reset on reboot; the next
+/// delta against the stale baseline underflows to a huge unsigned value).
+inline constexpr std::uint32_t kMaxPlausibleSbeCount = 1u << 20;
+
+/// Reason-coded outcome of sanitizing one batch of possibly-dirty SBE
+/// events. `accepted` events satisfy every SbeLog invariant; everything
+/// else was either repaired in place (still accepted, but counted) or
+/// quarantined (dropped).
+struct SbeSanitizeStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t reordered_repaired = 0;   ///< out of time order; sorted back
+  std::uint64_t duplicates_dropped = 0;   ///< byte-identical repeat records
+  std::uint64_t resets_dropped = 0;       ///< count == 0 (counter reset)
+  std::uint64_t rollbacks_dropped = 0;    ///< count > kMaxPlausibleSbeCount
+  std::uint64_t out_of_range_dropped = 0; ///< node/app outside the machine
+  std::uint64_t bad_interval_dropped = 0; ///< end < start or negative times
+
+  [[nodiscard]] std::uint64_t quarantined() const noexcept {
+    return duplicates_dropped + resets_dropped + rollbacks_dropped +
+           out_of_range_dropped + bad_interval_dropped;
+  }
+};
+
+/// Repairs `events` in place so the survivors satisfy every SbeLog
+/// invariant: range checks, count > 0, plausible magnitude, stable
+/// time-ordering (monotonicity repair), exact-duplicate removal. Always
+/// deterministic — same input produces the same survivors and stats at any
+/// thread count (the pass is serial and order-stable).
+SbeSanitizeStats sanitize_events(std::vector<SbeEvent>& events,
+                                 std::int32_t total_nodes,
+                                 std::int32_t total_apps);
+
+/// Builds an SbeLog from a possibly-dirty event batch: sanitize_events()
+/// then add() every survivor. The hardened entry for untrusted logs —
+/// SbeLog::add itself stays strict (REPRO_CHECK) for simulator-built logs.
+SbeLog rebuild_log(std::vector<SbeEvent> events, std::int32_t total_nodes,
+                   std::int32_t total_apps, SbeSanitizeStats* stats = nullptr);
 
 }  // namespace repro::faults

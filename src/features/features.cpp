@@ -205,6 +205,20 @@ void FeatureExtractor::extract(const sim::RunNodeSample& s,
     out[k++] = count_feature(log.app_node_count_between(s.app, s.node, day1, t));
   }
   REPRO_CHECK_MSG(k == names_.size(), "feature emission mismatch");
+
+  // Last-line defense: non-finite values must never reach a learner (GBDT
+  // split finding and the scaler both silently misbehave on NaN). A clean
+  // trace emits only finite values, so this pass is observationally a
+  // no-op there; a sample that bypassed sim::ingest_trace (or a forecast
+  // over a NaN-holed tail) gets imputed to 0 and counted.
+  std::size_t scrubbed = 0;
+  for (float& v : out) {
+    if (!std::isfinite(v)) {
+      v = 0.0f;
+      ++scrubbed;
+    }
+  }
+  if (scrubbed > 0) OBS_COUNT_ADD("features.values_imputed", scrubbed);
 }
 
 ml::Dataset FeatureExtractor::build(

@@ -1,0 +1,194 @@
+#include "inject/inject.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/obs.hpp"
+
+namespace repro::inject {
+
+FaultConfig FaultConfig::uniform(double rate, std::uint64_t seed) {
+  FaultConfig c;
+  c.seed = seed;
+  c.sbe_reset_rate = rate;
+  c.sbe_rollback_rate = rate;
+  c.sbe_duplicate_rate = rate;
+  c.sbe_reorder_rate = rate;
+  c.telemetry_dropout_rate = rate;
+  c.sensor_spike_rate = rate;
+  return c;
+}
+
+bool FaultConfig::any_record_faults() const noexcept {
+  return sbe_reset_rate > 0.0 || sbe_rollback_rate > 0.0 ||
+         sbe_duplicate_rate > 0.0 || sbe_reorder_rate > 0.0 ||
+         telemetry_dropout_rate > 0.0 || sensor_spike_rate > 0.0;
+}
+
+namespace {
+
+/// The garbage values a faulty sensor actually emits: rail-to-rail spikes,
+/// negative readings, IEEE specials.
+float spike_value(Rng& rng) {
+  switch (rng.uniform_index(5)) {
+    case 0: return 1.0e4f;
+    case 1: return -1.0e4f;
+    case 2: return std::numeric_limits<float>::infinity();
+    case 3: return -std::numeric_limits<float>::quiet_NaN();
+    default: return 1.0e30f;
+  }
+}
+
+void nan_four(telemetry::FourStats& s) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  s = {nan, nan, nan, nan};
+}
+
+/// Points at one float field of the sample's statistic blocks.
+float* pick_stat_field(sim::RunNodeSample& s, Rng& rng) {
+  telemetry::FourStats* blocks[] = {
+      &s.run_gpu_temp,  &s.run_gpu_power, &s.run_cpu_temp,
+      &s.slot_gpu_temp, &s.slot_gpu_power};
+  telemetry::FourStats& b = *blocks[rng.uniform_index(5)];
+  switch (rng.uniform_index(4)) {
+    case 0: return &b.mean;
+    case 1: return &b.std;
+    case 2: return &b.diff_mean;
+    default: return &b.diff_std;
+  }
+}
+
+}  // namespace
+
+InjectionReport corrupt_trace(sim::Trace& trace, const FaultConfig& config) {
+  InjectionReport report;
+  if (!config.any_record_faults()) return report;
+  OBS_SPAN("inject.corrupt_trace");
+  Rng rng(config.seed);
+  Rng sbe_rng = rng.fork(1);
+  Rng sample_rng = rng.fork(2);
+
+  // --- SBE / scheduler-log faults ------------------------------------------
+  // The stream leaves the strict SbeLog, gets dirtied, and parks in
+  // pending_sbe_events for the hardened ingest to sanitize.
+  std::vector<faults::SbeEvent> events =
+      trace.pending_sbe_events.empty()
+          ? std::move(trace.sbe_log).take_events()
+          : std::move(trace.pending_sbe_events);
+  trace.sbe_log = faults::SbeLog(trace.total_nodes(),
+                                 static_cast<std::int32_t>(
+                                     trace.catalog.size()));
+  std::vector<faults::SbeEvent> dirty;
+  dirty.reserve(events.size());
+  for (const faults::SbeEvent& e : events) {
+    faults::SbeEvent out = e;
+    if (sbe_rng.bernoulli(config.sbe_reset_rate)) {
+      out.count = 0;  // reboot wiped the counter before the post-run read
+      ++report.sbe_resets;
+    } else if (sbe_rng.bernoulli(config.sbe_rollback_rate)) {
+      // Delta against a stale pre-reset baseline underflows to ~2^32.
+      out.count = 0xFFFF0000u +
+                  static_cast<std::uint32_t>(sbe_rng.uniform_index(0xFFFF));
+      ++report.sbe_rollbacks;
+    }
+    dirty.push_back(out);
+    if (sbe_rng.bernoulli(config.sbe_duplicate_rate)) {
+      dirty.push_back(out);  // the log manager emitted the record twice
+      ++report.sbe_duplicates;
+    }
+  }
+  // Out-of-order delivery: swap adjacent records. Swaps are drawn per
+  // position on the final stream, left to right.
+  for (std::size_t i = 0; i + 1 < dirty.size(); ++i) {
+    if (sbe_rng.bernoulli(config.sbe_reorder_rate)) {
+      std::swap(dirty[i], dirty[i + 1]);
+      ++report.sbe_reorders;
+    }
+  }
+  trace.pending_sbe_events = std::move(dirty);
+
+  // --- telemetry faults ------------------------------------------------------
+  for (sim::RunNodeSample& s : trace.samples) {
+    if (sample_rng.bernoulli(config.telemetry_dropout_rate)) {
+      // The out-of-band collector missed a stretch of minutes: one pre-run
+      // window (or the recent tail) has no data behind it.
+      const std::uint64_t target = sample_rng.uniform_index(
+          sim::kPreWindowsMin.size() + 1);
+      if (target < sim::kPreWindowsMin.size()) {
+        nan_four(s.pre_gpu_temp[target]);
+        nan_four(s.pre_gpu_power[target]);
+      } else {
+        const float nan = std::numeric_limits<float>::quiet_NaN();
+        for (std::size_t i = 0; i < s.recent_len; ++i) {
+          s.recent_gpu_temp[i] = nan;
+          s.recent_gpu_power[i] = nan;
+        }
+      }
+      ++report.telemetry_dropouts;
+    }
+    if (sample_rng.bernoulli(config.sensor_spike_rate)) {
+      *pick_stat_field(s, sample_rng) = spike_value(sample_rng);
+      ++report.sensor_spikes;
+    }
+  }
+
+  OBS_COUNT_ADD("inject.sbe_resets", report.sbe_resets);
+  OBS_COUNT_ADD("inject.sbe_rollbacks", report.sbe_rollbacks);
+  OBS_COUNT_ADD("inject.sbe_duplicates", report.sbe_duplicates);
+  OBS_COUNT_ADD("inject.sbe_reorders", report.sbe_reorders);
+  OBS_COUNT_ADD("inject.telemetry_dropouts", report.telemetry_dropouts);
+  OBS_COUNT_ADD("inject.sensor_spikes", report.sensor_spikes);
+  return report;
+}
+
+FileCorruption corrupt_file(const std::string& path,
+                            const FaultConfig& config) {
+  FileCorruption result;
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return result;
+  result.existed = true;
+  Rng rng(config.seed ^ 0xF11EC0DEULL);
+
+  if (rng.bernoulli(config.file_truncate_prob)) {
+    const std::uintmax_t keep = rng.uniform_index(size);
+    std::filesystem::resize_file(path, keep, ec);
+    if (!ec) {
+      result.truncated = true;
+      result.bytes_removed = size - keep;
+      OBS_COUNT("inject.file_truncations");
+    }
+  }
+
+  const std::uintmax_t new_size = result.truncated
+                                      ? size - result.bytes_removed
+                                      : size;
+  if (config.file_bitflips_per_kb > 0.0 && new_size > 0) {
+    const double mean_flips =
+        config.file_bitflips_per_kb * static_cast<double>(new_size) / 1024.0;
+    std::uint64_t flips = rng.poisson(mean_flips);
+    if (flips == 0) flips = 1;  // a requested flip pass always flips
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (f.good()) {
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        const auto off = static_cast<std::streamoff>(
+            rng.uniform_index(new_size));
+        f.seekg(off);
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ (1u << rng.uniform_index(8)));
+        f.seekp(off);
+        f.write(&byte, 1);
+        ++result.bits_flipped;
+      }
+      OBS_COUNT_ADD("inject.file_bitflips", result.bits_flipped);
+    }
+  }
+  return result;
+}
+
+}  // namespace repro::inject

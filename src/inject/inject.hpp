@@ -1,0 +1,103 @@
+// Seeded, composable trace-corruption fault injection (DESIGN.md §9).
+//
+// The simulator's output is clean by construction; the paper's Titan
+// inputs were not. This layer perturbs a Trace (and on-disk TRACE cache
+// files) with the fault models observed in real HPC telemetry, each
+// behind an independent rate knob:
+//
+//   * SBE counter resets      — an event's count becomes 0 (nvidia-smi
+//                               counters reset on reboot).
+//   * SBE counter rollbacks   — an event's count wraps to a huge value
+//                               (delta against a stale post-reset baseline).
+//   * duplicated log records  — a scheduler record is emitted twice.
+//   * out-of-order records    — adjacent records swap positions.
+//   * telemetry dropouts      — a sample's pre-run window or recent tail
+//                               goes missing (NaN) as if the out-of-band
+//                               collector skipped those minutes.
+//   * sensor spikes           — a statistic field becomes a physically
+//                               impossible or non-finite garbage value.
+//   * file truncation/bitflip — the on-disk trace cache is cut short or
+//                               bit-flipped (torn write, storage fault).
+//
+// Injection is deterministic in (seed, config, trace): a single serial Rng
+// stream drives every draw, so the same inputs produce the same corruption
+// and the same downstream IngestReport at any REPRO_THREADS. Every
+// injected fault is counted in the returned report and in `inject.*` obs
+// counters, so end-to-end accounting (injected vs quarantined/repaired)
+// closes.
+//
+// A corrupted trace MUST go through sim::ingest_trace() before feature
+// extraction or training: corrupt_trace parks the dirtied SBE stream in
+// Trace::pending_sbe_events (the strict SbeLog never holds invalid
+// events) and leaves sample fields NaN/garbage for the sanitizer to
+// repair or quarantine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace repro::inject {
+
+struct FaultConfig {
+  std::uint64_t seed = 0xD15EA5EULL;
+
+  // Per-event SBE/scheduler-log fault rates in [0, 1].
+  double sbe_reset_rate = 0.0;
+  double sbe_rollback_rate = 0.0;
+  double sbe_duplicate_rate = 0.0;
+  double sbe_reorder_rate = 0.0;
+
+  // Per-sample telemetry fault rates in [0, 1].
+  double telemetry_dropout_rate = 0.0;
+  double sensor_spike_rate = 0.0;
+
+  // On-disk fault knobs (corrupt_file only).
+  double file_truncate_prob = 0.0;   ///< chance the file is cut short
+  double file_bitflips_per_kb = 0.0; ///< mean bit flips per KiB of file
+
+  /// All record-level knobs (not the file knobs) set to `rate`.
+  [[nodiscard]] static FaultConfig uniform(double rate,
+                                           std::uint64_t seed = 0xD15EA5EULL);
+  /// True when any record-level rate is non-zero.
+  [[nodiscard]] bool any_record_faults() const noexcept;
+};
+
+/// Exact count of every fault injected (also published as `inject.*`).
+struct InjectionReport {
+  std::uint64_t sbe_resets = 0;
+  std::uint64_t sbe_rollbacks = 0;
+  std::uint64_t sbe_duplicates = 0;
+  std::uint64_t sbe_reorders = 0;
+  std::uint64_t telemetry_dropouts = 0;
+  std::uint64_t sensor_spikes = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return sbe_resets + sbe_rollbacks + sbe_duplicates + sbe_reorders +
+           telemetry_dropouts + sensor_spikes;
+  }
+};
+
+/// Applies every record-level fault model to the trace in place. With all
+/// rates zero this is an exact no-op (no RNG draws are observable in the
+/// output; the trace is byte-identical). Otherwise the SBE stream moves to
+/// trace.pending_sbe_events and samples carry injected garbage — run
+/// sim::ingest_trace() before using the trace.
+InjectionReport corrupt_trace(sim::Trace& trace, const FaultConfig& config);
+
+/// Outcome of on-disk corruption of one file.
+struct FileCorruption {
+  bool existed = false;
+  bool truncated = false;
+  std::uint64_t bytes_removed = 0;
+  std::uint64_t bits_flipped = 0;
+};
+
+/// Corrupts an on-disk file (trace cache, bench artifact, ...) according
+/// to the file knobs: optional truncation at a random offset, then
+/// Poisson-many single-bit flips at random offsets. Returns what was done.
+FileCorruption corrupt_file(const std::string& path,
+                            const FaultConfig& config);
+
+}  // namespace repro::inject

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -322,14 +323,36 @@ bool write_chrome_trace(std::ostream& out) {
 }
 
 bool write_chrome_trace(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    std::fprintf(stderr, "[obs] cannot open trace path %s\n", path.c_str());
+  // Atomic publish: a crash (or full disk) mid-write must never leave a
+  // torn half-JSON file under the requested name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "[obs] cannot open trace path %s\n", tmp.c_str());
+      return false;
+    }
+    if (!write_chrome_trace(static_cast<std::ostream&>(out))) {
+      std::fprintf(stderr, "[obs] write to trace path %s failed\n",
+                   tmp.c_str());
+      return false;
+    }
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "[obs] write to trace path %s failed\n",
+                   tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::fprintf(stderr, "[obs] cannot publish trace %s: %s\n", path.c_str(),
+                 ec.message().c_str());
     return false;
   }
-  const bool ok = write_chrome_trace(static_cast<std::ostream&>(out));
-  if (ok) std::fprintf(stderr, "[obs] wrote Chrome trace %s\n", path.c_str());
-  return ok;
+  std::fprintf(stderr, "[obs] wrote Chrome trace %s\n", path.c_str());
+  return true;
 }
 
 bool write_trace_if_requested() {

@@ -111,6 +111,12 @@ struct Trace {
   /// Samples ordered by run end minute (simulation completion order).
   std::vector<RunNodeSample> samples;
   faults::SbeLog sbe_log;
+  /// Dirty SBE events awaiting hardened ingest. Normally empty — the
+  /// simulator publishes straight into sbe_log. src/inject parks a
+  /// corrupted event stream here (resetting sbe_log), and
+  /// sim::ingest_trace() folds it back through faults::rebuild_log; until
+  /// then history queries see an empty log, never a corrupt index.
+  std::vector<faults::SbeEvent> pending_sbe_events;
   std::vector<NodeCumulative> cumulative;     ///< indexed by node
   std::vector<NodePeriodHists> period_hists;  ///< indexed by node
   std::vector<ProbeSeries> probes;

@@ -1,6 +1,7 @@
 #include "sim/trace_io.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <type_traits>
@@ -13,10 +14,64 @@ namespace repro::sim {
 
 namespace {
 
-// v05: ThermalModel switched to per-node noise streams, which changes the
-// generated telemetry for identical configs — old cached traces no longer
-// correspond to what simulate() would produce.
-constexpr std::uint64_t kMagic = 0x54524143'45763035ULL;  // "TRACEv05"
+// v06: the header gained a payload byte count + checksum (ingest
+// hardening); older files without them are version-mismatch stale.
+constexpr std::uint64_t kMagic = 0x54524143'45763036ULL;  // "TRACEv06"
+
+// magic + fingerprint + payload_bytes + payload_hash.
+constexpr std::uint64_t kHeaderBytes = 4 * sizeof(std::uint64_t);
+
+/// FNV-1a-style rolling checksum, folded 8 bytes at a time (word-wise is
+/// ~8x faster than byte-wise and cache files run to hundreds of MB; the
+/// format is single-machine so endianness does not matter).
+struct Checksum {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void update(const char* p, std::size_t n) noexcept {
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p + i, 8);
+      h = (h ^ w) * kPrime;
+    }
+    for (; i < n; ++i) {
+      h = (h ^ static_cast<unsigned char>(p[i])) * kPrime;
+    }
+  }
+};
+
+/// Payload writer: streams bytes while folding the checksum and counting.
+struct HashingWriter {
+  std::ostream& out;
+  Checksum sum;
+  std::uint64_t bytes = 0;
+  void write(const char* p, std::size_t n) {
+    if (n == 0) return;
+    out.write(p, static_cast<std::streamsize>(n));
+    sum.update(p, n);
+    bytes += n;
+  }
+};
+
+/// Payload reader bounded by the byte count the header declared: every
+/// read is validated against the remaining budget BEFORE touching the
+/// stream or allocating, so a corrupt length can neither over-read nor
+/// trigger a pathological allocation.
+struct BoundedReader {
+  std::istream& in;
+  std::uint64_t remaining;
+  Checksum sum;
+  void read(char* p, std::size_t n) {
+    if (n == 0) return;
+    REPRO_CHECK_MSG(n <= remaining,
+                    "trace payload truncated: record needs "
+                        << n << " bytes, " << remaining << " remain");
+    in.read(p, static_cast<std::streamsize>(n));
+    REPRO_CHECK_MSG(in.good(), "trace payload read failed mid-record");
+    sum.update(p, n);
+    remaining -= n;
+  }
+};
 
 // The fingerprint below must fold EVERY generative field of SimConfig, or
 // two configs differing in an unfolded field would silently share a cache
@@ -47,42 +102,47 @@ void fold(std::uint64_t& h, const char* name, double v) {
 }
 
 template <typename T>
-void write_pod(std::ostream& out, const T& v) {
+void write_pod(HashingWriter& out, const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
-void read_pod(std::istream& in, T& v) {
+void read_pod(BoundedReader& in, T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
 }
 
 template <typename T>
-void write_vec(std::ostream& out, const std::vector<T>& v) {
+void write_vec(HashingWriter& out, const std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   write_pod(out, static_cast<std::uint64_t>(v.size()));
   out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+            v.size() * sizeof(T));
 }
 
 template <typename T>
-void read_vec(std::istream& in, std::vector<T>& v) {
+void read_vec(BoundedReader& in, std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::uint64_t n = 0;
   read_pod(in, n);
+  // Validate the declared length against the remaining payload budget
+  // before the resize: a bit-flipped length must not allocate petabytes.
+  REPRO_CHECK_MSG(n <= in.remaining / sizeof(T),
+                  "trace payload truncated: vector declares "
+                      << n << " elements, " << in.remaining
+                      << " bytes remain");
   v.resize(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
+  in.read(reinterpret_cast<char*>(v.data()), n * sizeof(T));
 }
 
-void write_hist(std::ostream& out, const Histogram& h) {
+void write_hist(HashingWriter& out, const Histogram& h) {
   std::vector<std::uint64_t> counts(h.bins());
   for (std::size_t b = 0; b < h.bins(); ++b) counts[b] = h.count(b);
   write_vec(out, counts);
 }
 
-void read_hist(std::istream& in, Histogram& h) {
+void read_hist(BoundedReader& in, Histogram& h) {
   std::vector<std::uint64_t> counts;
   read_vec(in, counts);
   REPRO_CHECK_MSG(counts.size() == h.bins(), "histogram shape mismatch");
@@ -90,6 +150,17 @@ void read_hist(std::istream& in, Histogram& h) {
   for (std::size_t b = 0; b < counts.size(); ++b) {
     if (counts[b] > 0) h.add(h.bin_center(b), counts[b]);
   }
+}
+
+/// Raw (unhashed) u64 for the header fields themselves.
+void write_raw_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_raw_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
 }
 
 // POD mirror of a RunNodeSample without relying on struct layout of the
@@ -169,50 +240,84 @@ std::uint64_t config_fingerprint(const SimConfig& c) {
 
 void save_trace(const Trace& trace, const SimConfig& config,
                 const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  REPRO_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  write_pod(out, kMagic);
-  write_pod(out, config_fingerprint(config));
-  write_pod(out, trace.duration);
-  write_vec(out, trace.samples);
+  // Atomic publish: stream everything into `<path>.tmp`, then rename. An
+  // interrupted run leaves at worst a stale tmp file, never a torn cache
+  // entry under the final name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    REPRO_CHECK_MSG(out.good(), "cannot open " << tmp << " for writing");
+    write_raw_u64(out, kMagic);
+    write_raw_u64(out, config_fingerprint(config));
+    write_raw_u64(out, 0);  // payload_bytes, patched below
+    write_raw_u64(out, 0);  // payload_hash, patched below
 
-  const auto& events = trace.sbe_log.events();
-  write_vec(out, events);
+    HashingWriter w{out, {}, 0};
+    write_pod(w, trace.duration);
+    write_vec(w, trace.samples);
 
-  write_pod(out, static_cast<std::uint64_t>(trace.cumulative.size()));
-  for (const auto& cum : trace.cumulative) {
-    write_pod(out, cum.gpu_temp.state());
-    write_pod(out, cum.gpu_power.state());
-    write_pod(out, cum.cpu_temp.state());
+    const auto& events = trace.sbe_log.events();
+    write_vec(w, events);
+
+    write_pod(w, static_cast<std::uint64_t>(trace.cumulative.size()));
+    for (const auto& cum : trace.cumulative) {
+      write_pod(w, cum.gpu_temp.state());
+      write_pod(w, cum.gpu_power.state());
+      write_pod(w, cum.cpu_temp.state());
+    }
+    write_pod(w, static_cast<std::uint64_t>(trace.period_hists.size()));
+    for (const auto& h : trace.period_hists) {
+      write_hist(w, h.temp_free);
+      write_hist(w, h.temp_affected);
+      write_hist(w, h.power_free);
+      write_hist(w, h.power_affected);
+    }
+    write_pod(w, static_cast<std::uint64_t>(trace.probes.size()));
+    for (const auto& p : trace.probes) {
+      write_pod(w, p.node);
+      write_vec(w, p.gpu_temp);
+      write_vec(w, p.gpu_power);
+      write_vec(w, p.cpu_temp);
+      write_vec(w, p.slot_avg_temp);
+      write_vec(w, p.slot_avg_power);
+      write_vec(w, p.cage_avg_temp);
+    }
+    out.seekp(2 * sizeof(std::uint64_t));
+    write_raw_u64(out, w.bytes);
+    write_raw_u64(out, w.sum.h);
+    out.flush();
+    REPRO_CHECK_MSG(out.good(), "write to " << tmp << " failed");
   }
-  write_pod(out, static_cast<std::uint64_t>(trace.period_hists.size()));
-  for (const auto& h : trace.period_hists) {
-    write_hist(out, h.temp_free);
-    write_hist(out, h.temp_affected);
-    write_hist(out, h.power_free);
-    write_hist(out, h.power_affected);
-  }
-  write_pod(out, static_cast<std::uint64_t>(trace.probes.size()));
-  for (const auto& p : trace.probes) {
-    write_pod(out, p.node);
-    write_vec(out, p.gpu_temp);
-    write_vec(out, p.gpu_power);
-    write_vec(out, p.cpu_temp);
-    write_vec(out, p.slot_avg_temp);
-    write_vec(out, p.slot_avg_power);
-    write_vec(out, p.cage_avg_temp);
-  }
-  REPRO_CHECK_MSG(out.good(), "write to " << path << " failed");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  REPRO_CHECK_MSG(!ec, "cannot publish " << tmp << " -> " << path << ": "
+                                         << ec.message());
 }
 
-std::optional<Trace> load_trace(const SimConfig& config,
-                                const std::string& path) {
+Trace read_trace(const SimConfig& config, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return std::nullopt;
-  std::uint64_t magic = 0, fp = 0;
-  read_pod(in, magic);
-  read_pod(in, fp);
-  if (magic != kMagic || fp != config_fingerprint(config)) return std::nullopt;
+  REPRO_CHECK_MSG(in.good(), "cannot open trace file " << path);
+  in.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  REPRO_CHECK_MSG(file_bytes >= kHeaderBytes,
+                  "trace file " << path << " truncated: " << file_bytes
+                                << " bytes, header needs " << kHeaderBytes);
+  const std::uint64_t magic = read_raw_u64(in);
+  const std::uint64_t fp = read_raw_u64(in);
+  const std::uint64_t payload_bytes = read_raw_u64(in);
+  const std::uint64_t payload_hash = read_raw_u64(in);
+  REPRO_CHECK_MSG(magic == kMagic,
+                  "trace file " << path
+                                << " version mismatch (expected TRACEv06)");
+  REPRO_CHECK_MSG(fp == config_fingerprint(config),
+                  "trace file " << path
+                                << " was generated from a different SimConfig"
+                                   " (fingerprint mismatch)");
+  REPRO_CHECK_MSG(file_bytes == kHeaderBytes + payload_bytes,
+                  "trace file " << path << " truncated: header declares "
+                                << payload_bytes << " payload bytes, file has "
+                                << file_bytes - kHeaderBytes);
 
   // The catalog is regenerated deterministically from the config exactly
   // as the simulator would (see Simulator's constructor).
@@ -221,45 +326,83 @@ std::optional<Trace> load_trace(const SimConfig& config,
   const auto total_apps = static_cast<std::int32_t>(catalog.size());
   Trace trace(config.system, std::move(catalog), total_apps);
 
-  read_pod(in, trace.duration);
-  read_vec(in, trace.samples);
+  BoundedReader r{in, payload_bytes, {}};
+  read_pod(r, trace.duration);
+  read_vec(r, trace.samples);
   std::vector<faults::SbeEvent> events;
-  read_vec(in, events);
-  for (const auto& e : events) trace.sbe_log.add(e);
+  read_vec(r, events);
 
   std::uint64_t n = 0;
-  read_pod(in, n);
-  if (n != trace.cumulative.size()) return std::nullopt;
+  read_pod(r, n);
+  REPRO_CHECK_MSG(n == trace.cumulative.size(),
+                  "trace file " << path << " node-count mismatch");
   for (auto& cum : trace.cumulative) {
     RunningStats::State s;
-    read_pod(in, s);
+    read_pod(r, s);
     cum.gpu_temp = RunningStats::from_state(s);
-    read_pod(in, s);
+    read_pod(r, s);
     cum.gpu_power = RunningStats::from_state(s);
-    read_pod(in, s);
+    read_pod(r, s);
     cum.cpu_temp = RunningStats::from_state(s);
   }
-  read_pod(in, n);
-  if (n != trace.period_hists.size()) return std::nullopt;
+  read_pod(r, n);
+  REPRO_CHECK_MSG(n == trace.period_hists.size(),
+                  "trace file " << path << " histogram-count mismatch");
   for (auto& h : trace.period_hists) {
-    read_hist(in, h.temp_free);
-    read_hist(in, h.temp_affected);
-    read_hist(in, h.power_free);
-    read_hist(in, h.power_affected);
+    read_hist(r, h.temp_free);
+    read_hist(r, h.temp_affected);
+    read_hist(r, h.power_free);
+    read_hist(r, h.power_affected);
   }
-  read_pod(in, n);
+  read_pod(r, n);
+  REPRO_CHECK_MSG(n <= r.remaining / sizeof(topo::NodeId),
+                  "trace file " << path << " probe-count implausible");
   trace.probes.resize(n);
   for (auto& p : trace.probes) {
-    read_pod(in, p.node);
-    read_vec(in, p.gpu_temp);
-    read_vec(in, p.gpu_power);
-    read_vec(in, p.cpu_temp);
-    read_vec(in, p.slot_avg_temp);
-    read_vec(in, p.slot_avg_power);
-    read_vec(in, p.cage_avg_temp);
+    read_pod(r, p.node);
+    read_vec(r, p.gpu_temp);
+    read_vec(r, p.gpu_power);
+    read_vec(r, p.cpu_temp);
+    read_vec(r, p.slot_avg_temp);
+    read_vec(r, p.slot_avg_power);
+    read_vec(r, p.cage_avg_temp);
   }
-  if (!in.good()) return std::nullopt;
+  REPRO_CHECK_MSG(r.remaining == 0,
+                  "trace file " << path << " has " << r.remaining
+                                << " unexpected trailing payload bytes");
+  // The checksum is the last word: only now do we know every byte matched
+  // what save_trace produced, so the SBE events below satisfy the strict
+  // log invariants (they were valid when written).
+  REPRO_CHECK_MSG(r.sum.h == payload_hash,
+                  "trace file " << path
+                                << " checksum mismatch (bit corruption)");
+  for (const auto& e : events) trace.sbe_log.add(e);
   return trace;
+}
+
+std::optional<Trace> load_trace(const SimConfig& config,
+                                const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) return std::nullopt;  // no cache entry: silent miss
+    // Stale entries (old format version or a different config) are normal
+    // cache misses, not corruption — classify before the strict read.
+    const std::uint64_t magic = read_raw_u64(probe);
+    const std::uint64_t fp = read_raw_u64(probe);
+    if (!probe.good() || magic != kMagic ||
+        fp != config_fingerprint(config)) {
+      OBS_COUNT("ingest.trace_cache_stale");
+      return std::nullopt;
+    }
+  }
+  try {
+    return read_trace(config, path);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "[ingest] rejecting corrupt trace file %s: %s\n",
+                 path.c_str(), e.what());
+    OBS_COUNT("ingest.trace_file_rejected");
+    return std::nullopt;
+  }
 }
 
 std::string cache_path(const SimConfig& config, const std::string& cache_dir) {

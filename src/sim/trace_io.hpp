@@ -6,7 +6,14 @@
 // pays the simulation cost and the rest load in well under a second.
 //
 // The format is a local cache, not an interchange format: it is
-// endianness/ABI-naive by design and guarded by a fingerprint + version.
+// endianness/ABI-naive by design and guarded by a fingerprint + version —
+// and, since v06, by a payload checksum in the header, so truncated or
+// bit-flipped cache files are detected and rejected rather than consumed.
+// Reads are bounded: every record length is validated against the bytes
+// actually present before any allocation, so a corrupt file can never
+// trigger an over-read or a pathological allocation. Writes are atomic
+// (stream to `<path>.tmp`, then rename), so an interrupted run can never
+// leave a torn cache file for the next run to ingest.
 #pragma once
 
 #include <optional>
@@ -20,10 +27,19 @@ namespace repro::sim {
 std::uint64_t config_fingerprint(const SimConfig& config);
 
 /// Writes the trace (catalog excluded; it is regenerated from the config).
+/// Atomic: the file appears under its final name only when complete.
 void save_trace(const Trace& trace, const SimConfig& config,
                 const std::string& path);
 
-/// Loads a trace if the file exists and matches the config fingerprint.
+/// Strict read: returns the trace or throws CheckError with a reason —
+/// unreadable file, version mismatch, config fingerprint mismatch,
+/// truncation (declared payload size vs bytes present), or checksum
+/// mismatch (bit corruption). Never crashes or over-reads on any input.
+Trace read_trace(const SimConfig& config, const std::string& path);
+
+/// Cache-facing read: nullopt when the file is missing, stale (version or
+/// fingerprint mismatch — a normal cache miss), or corrupt (rejected with
+/// a one-line warning and an `ingest.trace_file_rejected` count).
 std::optional<Trace> load_trace(const SimConfig& config,
                                 const std::string& path);
 

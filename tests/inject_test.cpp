@@ -1,0 +1,408 @@
+// Fault-injection and hardened-ingest tests (DESIGN.md §9): the sanitizer
+// fixtures, injection determinism across thread counts, the end-to-end
+// corrupted pipeline, and file-level fuzz (truncation / bit flips) against
+// the v06 trace format — errors always, crashes never.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/sample_index.hpp"
+#include "core/splits.hpp"
+#include "core/two_stage.hpp"
+#include "faults/sbe_log.hpp"
+#include "inject/inject.hpp"
+#include "sim/ingest.hpp"
+#include "sim/trace_io.hpp"
+#include "support/test_trace.hpp"
+#include "telemetry/store.hpp"
+
+namespace repro {
+namespace {
+
+using repro::testing::shared_tiny_trace;
+
+// --- sanitize_events fixtures ----------------------------------------------
+
+faults::SbeEvent event(workload::RunId run, topo::NodeId node, Minute end,
+                       std::uint32_t count) {
+  faults::SbeEvent e;
+  e.run = run;
+  e.app = 0;
+  e.node = node;
+  e.start = end > 10 ? end - 10 : 0;
+  e.end = end;
+  e.count = count;
+  return e;
+}
+
+TEST(SanitizeEvents, CleanStreamPassesUntouched) {
+  std::vector<faults::SbeEvent> events = {event(0, 1, 100, 3),
+                                          event(1, 2, 150, 1),
+                                          event(2, 0, 150, 7)};
+  const std::vector<faults::SbeEvent> original = events;
+  const auto stats = faults::sanitize_events(events, /*total_nodes=*/4,
+                                             /*total_apps=*/2);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.quarantined(), 0u);
+  EXPECT_EQ(stats.reordered_repaired, 0u);
+  ASSERT_EQ(events.size(), original.size());
+  EXPECT_EQ(0, std::memcmp(events.data(), original.data(),
+                           events.size() * sizeof(faults::SbeEvent)));
+}
+
+TEST(SanitizeEvents, QuarantinesEveryFaultClass) {
+  std::vector<faults::SbeEvent> events = {
+      event(0, 1, 100, 3),                       // clean
+      event(1, 99, 110, 1),                      // node out of range
+      event(2, 2, 120, 0),                       // counter reset
+      event(3, 2, 130, faults::kMaxPlausibleSbeCount + 5),  // rollback
+      event(4, 3, 140, 2),                       // clean
+  };
+  events.push_back(events.back());               // exact duplicate
+  faults::SbeEvent bad_interval = event(5, 1, 150, 1);
+  bad_interval.start = 200;                      // end < start
+  events.push_back(bad_interval);
+
+  const auto stats = faults::sanitize_events(events, 4, 2);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.out_of_range_dropped, 1u);
+  EXPECT_EQ(stats.resets_dropped, 1u);
+  EXPECT_EQ(stats.rollbacks_dropped, 1u);
+  EXPECT_EQ(stats.duplicates_dropped, 1u);
+  EXPECT_EQ(stats.bad_interval_dropped, 1u);
+  EXPECT_EQ(stats.quarantined(), 5u);
+  ASSERT_EQ(events.size(), 2u);
+}
+
+TEST(SanitizeEvents, RepairsOutOfOrderStream) {
+  std::vector<faults::SbeEvent> events = {event(0, 1, 150, 3),
+                                          event(1, 2, 100, 1),
+                                          event(2, 3, 120, 2)};
+  const auto stats = faults::sanitize_events(events, 4, 2);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_GT(stats.reordered_repaired, 0u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].end, events[i].end);
+  }
+}
+
+TEST(RebuildLog, MatchesDirectLogOnCleanStream) {
+  const sim::Trace& trace = shared_tiny_trace();
+  std::vector<faults::SbeEvent> events = trace.sbe_log.events();
+  faults::SbeSanitizeStats stats;
+  const faults::SbeLog rebuilt = faults::rebuild_log(
+      std::move(events), trace.total_nodes(),
+      static_cast<std::int32_t>(trace.catalog.size()), &stats);
+  EXPECT_EQ(stats.quarantined(), 0u);
+  EXPECT_EQ(rebuilt.events().size(), trace.sbe_log.events().size());
+  EXPECT_EQ(rebuilt.global_count_between(0, trace.duration + 1),
+            trace.sbe_log.global_count_between(0, trace.duration + 1));
+  for (topo::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(rebuilt.node_count_between(n, 0, trace.duration + 1),
+              trace.sbe_log.node_count_between(n, 0, trace.duration + 1));
+  }
+}
+
+// --- hardened telemetry store ----------------------------------------------
+
+TEST(TelemetryHardenedIngest, RepairsNonFiniteByHoldingLastValue) {
+  telemetry::TelemetryStore store(2);
+  EXPECT_EQ(store.record_checked(0, {40.0f, 120.0f, 35.0f}),
+            telemetry::ReadingQuality::kOk);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(store.record_checked(0, {nan, 130.0f, 36.0f}),
+            telemetry::ReadingQuality::kRepaired);
+  EXPECT_FLOAT_EQ(store.latest(0, telemetry::Channel::kGpuTemp), 40.0f);
+  EXPECT_FLOAT_EQ(store.latest(0, telemetry::Channel::kGpuPower), 130.0f);
+  EXPECT_EQ(store.ingest_stats().repaired_nonfinite, 1u);
+  EXPECT_EQ(store.quality(0).repaired, 1u);
+}
+
+TEST(TelemetryHardenedIngest, ClampsOutOfRangeSpikes) {
+  telemetry::TelemetryStore store(1);
+  EXPECT_EQ(store.record_checked(0, {1.0e6f, -5.0f, 30.0f}),
+            telemetry::ReadingQuality::kRepaired);
+  EXPECT_FLOAT_EQ(store.latest(0, telemetry::Channel::kGpuTemp), 150.0f);
+  EXPECT_FLOAT_EQ(store.latest(0, telemetry::Channel::kGpuPower), 0.0f);
+  EXPECT_EQ(store.ingest_stats().repaired_out_of_range, 2u);
+}
+
+TEST(TelemetryHardenedIngest, QuarantinesAllGarbageFirstReading) {
+  telemetry::TelemetryStore store(1);
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(store.record_checked(0, {nan, inf, -inf}),
+            telemetry::ReadingQuality::kQuarantined);
+  EXPECT_EQ(store.history_size(0), 0u);
+  EXPECT_EQ(store.ingest_stats().quarantined, 1u);
+  EXPECT_EQ(store.quality(0).quarantined, 1u);
+}
+
+TEST(TelemetryHardenedIngest, GapFillHoldsLastReading) {
+  telemetry::TelemetryStore store(1);
+  store.record_gap(0);  // gap before any data records nothing
+  EXPECT_EQ(store.history_size(0), 0u);
+  EXPECT_EQ(store.record_checked(0, {42.0f, 100.0f, 33.0f}),
+            telemetry::ReadingQuality::kOk);
+  store.record_gap(0);
+  EXPECT_EQ(store.history_size(0), 2u);
+  EXPECT_FLOAT_EQ(store.latest(0, telemetry::Channel::kGpuTemp), 42.0f);
+  EXPECT_EQ(store.ingest_stats().gaps_held, 1u);
+  EXPECT_EQ(store.quality(0).gaps, 1u);
+}
+
+// --- injection determinism ---------------------------------------------------
+
+TEST(Injection, ZeroRatesAreAnExactNoOp) {
+  const sim::Trace& clean = shared_tiny_trace();
+  sim::Trace trace = clean;
+  const auto report =
+      inject::corrupt_trace(trace, inject::FaultConfig::uniform(0.0));
+  EXPECT_EQ(report.total(), 0u);
+  EXPECT_TRUE(trace.pending_sbe_events.empty());
+  EXPECT_EQ(trace.sbe_log.events().size(), clean.sbe_log.events().size());
+  ASSERT_EQ(trace.samples.size(), clean.samples.size());
+  EXPECT_EQ(0, std::memcmp(trace.samples.data(), clean.samples.data(),
+                           trace.samples.size() * sizeof(sim::RunNodeSample)));
+}
+
+TEST(Injection, DeterministicAcrossThreadCounts) {
+  const sim::Trace& clean = shared_tiny_trace();
+  const auto config = inject::FaultConfig::uniform(0.1, /*seed=*/777);
+
+  const std::size_t saved = parallel_threads();
+  inject::InjectionReport reports[2];
+  sim::IngestReport ingests[2];
+  std::vector<sim::RunNodeSample> samples[2];
+  std::vector<faults::SbeEvent> events[2];
+  const std::size_t thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    set_parallel_threads(thread_counts[i]);
+    sim::Trace trace = clean;
+    reports[i] = inject::corrupt_trace(trace, config);
+    ingests[i] = sim::ingest_trace(trace);
+    samples[i] = trace.samples;
+    events[i] = trace.sbe_log.events();
+  }
+  set_parallel_threads(saved);
+
+  EXPECT_GT(reports[0].total(), 0u);
+  EXPECT_EQ(reports[0].total(), reports[1].total());
+  EXPECT_EQ(ingests[0].quarantined(), ingests[1].quarantined());
+  EXPECT_EQ(ingests[0].repaired(), ingests[1].repaired());
+  EXPECT_EQ(ingests[0].samples.fields_imputed, ingests[1].samples.fields_imputed);
+  ASSERT_EQ(samples[0].size(), samples[1].size());
+  EXPECT_EQ(0, std::memcmp(samples[0].data(), samples[1].data(),
+                           samples[0].size() * sizeof(sim::RunNodeSample)));
+  ASSERT_EQ(events[0].size(), events[1].size());
+  EXPECT_EQ(0, std::memcmp(events[0].data(), events[1].data(),
+                           events[0].size() * sizeof(faults::SbeEvent)));
+}
+
+TEST(Injection, AccountingClosesEndToEnd) {
+  const sim::Trace& clean = shared_tiny_trace();
+  sim::Trace trace = clean;
+  inject::FaultConfig config = inject::FaultConfig::uniform(0.2, 99);
+  const auto injected = inject::corrupt_trace(trace, config);
+  EXPECT_GT(injected.total(), 0u);
+  EXPECT_FALSE(trace.pending_sbe_events.empty());
+  EXPECT_TRUE(trace.sbe_log.events().empty());  // parked, not indexed
+
+  const sim::IngestReport report = sim::ingest_trace(trace);
+  EXPECT_TRUE(trace.pending_sbe_events.empty());
+  // Every injected reset/rollback surfaces in the quarantine ledger (the
+  // duplicate of a reset event is itself also dropped as a reset, so >=).
+  EXPECT_GE(report.sbe.resets_dropped, injected.sbe_resets);
+  EXPECT_GE(report.sbe.rollbacks_dropped, injected.sbe_rollbacks);
+  EXPECT_GT(report.samples.fields_imputed, 0u);  // dropouts/spikes repaired
+  EXPECT_FALSE(report.summary().empty());
+
+  // No NaN survives the hardened ingest.
+  for (const sim::RunNodeSample& s : trace.samples) {
+    EXPECT_TRUE(std::isfinite(s.run_gpu_temp.mean));
+    EXPECT_TRUE(std::isfinite(s.run_gpu_power.mean));
+    for (std::size_t w = 0; w < sim::kPreWindowsMin.size(); ++w) {
+      EXPECT_TRUE(std::isfinite(s.pre_gpu_temp[w].mean));
+      EXPECT_TRUE(std::isfinite(s.pre_gpu_power[w].mean));
+    }
+    for (std::size_t i = 0; i < s.recent_len; ++i) {
+      EXPECT_TRUE(std::isfinite(s.recent_gpu_temp[i]));
+      EXPECT_TRUE(std::isfinite(s.recent_gpu_power[i]));
+    }
+  }
+}
+
+TEST(Injection, CorruptedPipelineTrainsAndPredictsFinite) {
+  const sim::Trace& clean = shared_tiny_trace();
+  sim::Trace trace = clean;
+  inject::corrupt_trace(trace, inject::FaultConfig::uniform(0.15, 5));
+  sim::ingest_trace(trace);
+
+  const auto split = core::SplitSpec::sliding(30, 20, 8, 1, 1).front();
+  core::TwoStageConfig config;
+  core::TwoStagePredictor predictor(config);
+  predictor.train(trace, split.train);
+  const auto idx = core::samples_in(trace, split.test);
+  ASSERT_FALSE(idx.empty());
+  const auto proba = predictor.predict_proba(trace, idx);
+  for (const float p : proba) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+  const auto metrics = predictor.evaluate(trace, split.test);
+  EXPECT_TRUE(std::isfinite(metrics.positive.f1));
+}
+
+TEST(Injection, AllResetsDegradeTwoStageGracefully) {
+  const sim::Trace& clean = shared_tiny_trace();
+  sim::Trace trace = clean;
+  inject::FaultConfig config;
+  config.sbe_reset_rate = 1.0;  // every SBE event quarantined as a reset
+  inject::corrupt_trace(trace, config);
+  const sim::IngestReport report = sim::ingest_trace(trace);
+  EXPECT_EQ(report.sbe.accepted, 0u);
+  EXPECT_TRUE(trace.sbe_log.events().empty());
+
+  const auto split = core::SplitSpec::sliding(30, 20, 8, 1, 1).front();
+  core::TwoStageConfig ts_config;
+  core::TwoStagePredictor predictor(ts_config);
+  predictor.train(trace, split.train);  // must not throw
+  EXPECT_TRUE(predictor.degraded());
+  EXPECT_TRUE(predictor.trained());
+  const auto idx = core::samples_in(trace, split.test);
+  std::vector<float> proba;
+  const auto pred = predictor.predict(trace, idx, &proba);
+  for (const float p : proba) EXPECT_EQ(p, 0.0f);
+  for (const auto y : pred) EXPECT_EQ(y, 0);
+  const auto metrics = predictor.evaluate(trace, split.test);
+  EXPECT_EQ(metrics.confusion.tp, 0u);
+  EXPECT_EQ(metrics.confusion.fp, 0u);
+}
+
+// --- file-level corruption (v06 format) --------------------------------------
+
+class TraceFileFuzz : public ::testing::Test {
+ protected:
+  static const sim::SimConfig& config() {
+    static const sim::SimConfig cfg = [] {
+      sim::SimConfig c = sim::SimConfig::testing(/*test_days=*/6,
+                                                 /*test_seed=*/13);
+      c.faults.base_rate_per_min = 2.0e-3;
+      return c;
+    }();
+    return cfg;
+  }
+  static const std::string& pristine_path() {
+    static const std::string path = [] {
+      const std::string p =
+          (std::filesystem::temp_directory_path() / "repro_inject_trace.bin")
+              .string();
+      sim::save_trace(sim::simulate(config()), config(), p);
+      return p;
+    }();
+    return path;
+  }
+  /// Fresh mutable copy of the pristine file for one fuzz trial.
+  std::string working_copy() const {
+    const std::string p = pristine_path() + ".fuzz";
+    std::filesystem::copy_file(pristine_path(), p,
+                               std::filesystem::copy_options::overwrite_existing);
+    return p;
+  }
+};
+
+TEST_F(TraceFileFuzz, RoundTripAndAtomicity) {
+  EXPECT_FALSE(std::filesystem::exists(pristine_path() + ".tmp"));
+  const sim::Trace reloaded = sim::read_trace(config(), pristine_path());
+  const sim::Trace direct = sim::simulate(config());
+  ASSERT_EQ(reloaded.samples.size(), direct.samples.size());
+  EXPECT_EQ(0, std::memcmp(reloaded.samples.data(), direct.samples.data(),
+                           direct.samples.size() * sizeof(sim::RunNodeSample)));
+  EXPECT_EQ(reloaded.sbe_log.events().size(), direct.sbe_log.events().size());
+}
+
+TEST_F(TraceFileFuzz, EverySingleByteTruncationIsRejectedNotCrashed) {
+  const std::string p = working_copy();
+  const auto full = std::filesystem::file_size(p);
+  // Sweep truncation points across the whole file: header cuts, payload
+  // cuts, and zero bytes. Every one must be a clean nullopt.
+  for (const double frac : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999}) {
+    const auto keep = static_cast<std::uintmax_t>(
+        static_cast<double>(full) * frac);
+    std::filesystem::copy_file(
+        pristine_path(), p, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(p, keep);
+    EXPECT_FALSE(sim::load_trace(config(), p).has_value())
+        << "accepted a file truncated to " << keep << "/" << full << " bytes";
+  }
+  std::filesystem::remove(p);
+}
+
+TEST_F(TraceFileFuzz, ChecksumCatchesEverySingleBitFlip) {
+  const auto full = std::filesystem::file_size(pristine_path());
+  // Deterministically flip one bit at a spread of offsets, covering the
+  // header (magic, fingerprint, payload length, checksum) and payload.
+  Rng rng(0xB17F11Bu);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::string p = working_copy();
+    const auto off = static_cast<std::streamoff>(rng.uniform_index(full));
+    {
+      std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+      ASSERT_TRUE(f.good());
+      f.seekg(off);
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^
+                               (1u << rng.uniform_index(8)));
+      f.seekp(off);
+      f.write(&byte, 1);
+    }
+    EXPECT_FALSE(sim::load_trace(config(), p).has_value())
+        << "accepted a bit flip at byte " << off;
+    std::filesystem::remove(p);
+  }
+}
+
+TEST_F(TraceFileFuzz, RandomCorruptionNeverCrashesTheLoader) {
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::string p = working_copy();
+    inject::FaultConfig config_file;
+    config_file.seed = 1000u + static_cast<std::uint64_t>(trial);
+    config_file.file_truncate_prob = 0.5;
+    config_file.file_bitflips_per_kb = 0.05;
+    const auto result = inject::corrupt_file(p, config_file);
+    EXPECT_TRUE(result.existed);
+    // Either rejected (usual) or, if flips happened to cancel out, loaded
+    // intact — but never a crash, hang, or out-of-bounds access.
+    const auto loaded = sim::load_trace(config(), p);
+    if (loaded.has_value()) {
+      EXPECT_FALSE(result.truncated);
+    }
+    std::filesystem::remove(p);
+  }
+}
+
+TEST_F(TraceFileFuzz, VersionMismatchReadsAsStaleNotCorrupt) {
+  const std::string p = working_copy();
+  {
+    std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t old_magic = 0x54524143'45763035ULL;  // "TRACEv05"
+    f.write(reinterpret_cast<const char*>(&old_magic), sizeof(old_magic));
+  }
+  EXPECT_FALSE(sim::load_trace(config(), p).has_value());
+  EXPECT_THROW((void)sim::read_trace(config(), p), CheckError);
+  std::filesystem::remove(p);
+}
+
+}  // namespace
+}  // namespace repro
